@@ -1,0 +1,80 @@
+"""Ablation — beacon period vs detection latency and beacon traffic.
+
+Paper §4.1 item 8 fixes the beacon period at 10 s with failure declared
+after three silent periods.  The detection latency therefore scales with
+the period while beacon traffic scales inversely — the classic
+freshness/energy trade-off.  This bench runs the full packet-level
+beacon protocol (no event shortcut) at three periods.
+"""
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.deploy import DetectionMode
+from repro.experiments import render_table
+from repro.net import Category
+
+PERIODS = (5.0, 10.0, 20.0)
+
+
+def run_beacon_sweep():
+    results = {}
+    for period in PERIODS:
+        config = paper_scenario(
+            Algorithm.CENTRALIZED,
+            4,
+            seed=1,
+            detection_mode=DetectionMode.BEACON,
+            beacon_period_s=period,
+            sensors_per_robot=25,
+            placement="grid",
+            sim_time_s=4_000.0,
+        )
+        runtime = ScenarioRuntime(config)
+        report = runtime.run()
+        latencies = [
+            record.detect_time - record.death_time
+            for record in runtime.metrics.records()
+            if record.detect_time is not None
+        ]
+        results[period] = {
+            "beacons": runtime.channel.stats.transmissions[
+                Category.BEACON
+            ],
+            "mean_detect_latency": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "failures": report.failures,
+            "detected": report.detected,
+        }
+    return results
+
+
+def test_beacon_period_tradeoff(benchmark):
+    results = benchmark.pedantic(run_beacon_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            period,
+            values["beacons"],
+            values["mean_detect_latency"],
+            f"{values['detected']}/{values['failures']}",
+        ]
+        for period, values in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["period s", "beacon tx", "detect latency s", "detected"],
+            rows,
+            title="Ablation: beacon period (paper uses 10 s, 3 misses)",
+        )
+    )
+
+    # Beacon traffic scales ~1/period.
+    beacons = [results[p]["beacons"] for p in PERIODS]
+    assert beacons[0] > 1.5 * beacons[1] > 2.0 * beacons[2]
+
+    # Detection latency scales ~period (k..k+2 periods after death).
+    latency = [results[p]["mean_detect_latency"] for p in PERIODS]
+    assert latency[0] < latency[1] < latency[2]
+    for period in PERIODS:
+        mean_latency = results[period]["mean_detect_latency"]
+        assert 2.0 * period <= mean_latency <= 5.0 * period

@@ -1,0 +1,68 @@
+"""Ablation — efficient broadcast for location-update floods.
+
+Paper §4.3.2 / §6 (future work): "The high messaging overhead in the two
+distributed algorithms can be reduced by using more efficient broadcast
+schemes which require only a subset of the sensors in each subarea to
+relay the location update messages."  We implement that subset as a
+greedy connected dominating set over the sensor graph and quantify the
+saving the paper projected — without giving up failure repair.
+"""
+
+from repro import Algorithm, paper_scenario
+from repro.experiments import render_table, run_config
+
+from conftest import BENCH_ROBOT_SPEED
+
+
+def run_broadcast_comparison():
+    results = {}
+    for algorithm in (Algorithm.FIXED, Algorithm.DYNAMIC):
+        for efficient in (False, True):
+            report = run_config(
+                paper_scenario(
+                    algorithm,
+                    9,
+                    seed=1,
+                    efficient_broadcast=efficient,
+                    sim_time_s=16_000.0,
+                    robot_speed_mps=BENCH_ROBOT_SPEED,
+                )
+            )
+            results[(algorithm, efficient)] = report
+    return results
+
+
+def test_efficient_broadcast_saves_transmissions(benchmark):
+    results = benchmark.pedantic(
+        run_broadcast_comparison, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            algorithm,
+            "CDS relays" if efficient else "all relay",
+            report.update_transmissions_per_failure,
+            report.repaired / max(report.failures, 1),
+        ]
+        for (algorithm, efficient), report in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["algorithm", "broadcast", "update tx/fail", "repair ratio"],
+            rows,
+            title="Ablation: efficient (dominating-set) broadcast "
+            "(paper future work)",
+        )
+    )
+
+    for algorithm in (Algorithm.FIXED, Algorithm.DYNAMIC):
+        flood_all = results[(algorithm, False)]
+        flood_cds = results[(algorithm, True)]
+        saving = 1.0 - (
+            flood_cds.update_transmissions_per_failure
+            / flood_all.update_transmissions_per_failure
+        )
+        # The dominating set prunes a substantial share of the relays...
+        assert saving >= 0.2, f"{algorithm}: saving only {saving:.1%}"
+        # ...without giving up repairs.
+        assert flood_cds.repaired >= flood_cds.failures * 0.9

@@ -1,0 +1,77 @@
+"""Ablation — subarea shape for the fixed algorithm.
+
+Paper §4.3.1: "we only show the results for the square partition method,
+as other partition methods (e.g., hexagon partition) show negligible
+difference in the overheads."  This bench runs the fixed algorithm with
+the square and the staggered (hexagon-like) partition and checks the
+overheads indeed agree.
+"""
+
+from repro import Algorithm, paper_scenario
+from repro.deploy import PartitionStyle
+from repro.experiments import render_table, run_config
+
+from conftest import BENCH_ROBOT_SPEED
+
+ROBOTS = 9
+SEEDS = (1, 2)
+
+
+def run_partition_comparison():
+    results = {}
+    for style in (PartitionStyle.SQUARE, PartitionStyle.STAGGERED):
+        reports = [
+            run_config(
+                paper_scenario(
+                    Algorithm.FIXED,
+                    ROBOTS,
+                    seed=seed,
+                    partition=style,
+                    sim_time_s=16_000.0,
+                    robot_speed_mps=BENCH_ROBOT_SPEED,
+                )
+            )
+            for seed in SEEDS
+        ]
+        results[style] = {
+            "travel": sum(r.mean_travel_distance for r in reports)
+            / len(reports),
+            "update_tx": sum(
+                r.update_transmissions_per_failure for r in reports
+            )
+            / len(reports),
+            "report_hops": sum(r.mean_report_hops for r in reports)
+            / len(reports),
+        }
+    return results
+
+
+def test_partition_shape_negligible(benchmark):
+    results = benchmark.pedantic(
+        run_partition_comparison, rounds=1, iterations=1
+    )
+    rows = [
+        [style, v["travel"], v["update_tx"], v["report_hops"]]
+        for style, v in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["partition", "travel m/fail", "update tx/fail", "report hops"],
+            rows,
+            title="Ablation: fixed-algorithm partition shape "
+            "(paper: 'negligible difference')",
+        )
+    )
+
+    square = results[PartitionStyle.SQUARE]
+    staggered = results[PartitionStyle.STAGGERED]
+    assert abs(square["travel"] - staggered["travel"]) <= (
+        0.15 * square["travel"]
+    )
+    assert abs(square["update_tx"] - staggered["update_tx"]) <= (
+        0.25 * square["update_tx"]
+    )
+    assert abs(square["report_hops"] - staggered["report_hops"]) <= (
+        0.25 * square["report_hops"]
+    )

@@ -1,0 +1,70 @@
+"""Ablation — robot location-update distance threshold.
+
+Paper §4.2: robots update their location every 20 m, "less than 1/3 of
+the sensors' transmission range (63 m) to ensure that the robots can
+receive failure messages all the time."  This bench sweeps the
+threshold: tighter thresholds cost more update transmissions; looser
+thresholds save messages until staleness starts costing deliveries.
+"""
+
+from repro import Algorithm, paper_scenario
+from repro.experiments import render_table, run_config
+
+from conftest import BENCH_ROBOT_SPEED
+
+THRESHOLDS = (10.0, 20.0, 40.0)
+
+
+def run_threshold_sweep():
+    results = {}
+    for threshold in THRESHOLDS:
+        report = run_config(
+            paper_scenario(
+                Algorithm.DYNAMIC,
+                9,
+                seed=1,
+                update_threshold_m=threshold,
+                sim_time_s=16_000.0,
+                robot_speed_mps=BENCH_ROBOT_SPEED,
+            )
+        )
+        results[threshold] = report
+    return results
+
+
+def test_update_threshold_tradeoff(benchmark):
+    results = benchmark.pedantic(
+        run_threshold_sweep, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            threshold,
+            report.update_transmissions_per_failure,
+            report.report_delivery_ratio,
+            report.repaired / max(report.failures, 1),
+        ]
+        for threshold, report in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            [
+                "threshold m",
+                "update tx/fail",
+                "report delivery",
+                "repair ratio",
+            ],
+            rows,
+            title="Ablation: location-update threshold (paper uses 20 m)",
+        )
+    )
+
+    # More frequent updates => strictly more update transmissions.
+    tx = [
+        results[t].update_transmissions_per_failure for t in THRESHOLDS
+    ]
+    assert tx[0] > tx[1] > tx[2]
+
+    # The paper's 20 m choice keeps delivery intact.
+    assert results[20.0].report_delivery_ratio >= 0.98
+    assert results[10.0].report_delivery_ratio >= 0.98

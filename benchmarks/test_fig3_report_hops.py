@@ -1,0 +1,32 @@
+"""Figure 3 — average message passing hops per failure.
+
+Regenerates the paper's Figure 3: centralized failure-report and
+repair-request hops grow with the network (the scalability argument),
+while the distributed algorithms' report hops stay flat around two.
+"""
+
+from repro.experiments import figure3_hops
+
+
+def test_figure3_report_hops(figure_sweep, benchmark):
+    figure = benchmark.pedantic(
+        figure3_hops,
+        kwargs=dict(
+            robot_counts=figure_sweep["robot_counts"],
+            seeds=figure_sweep["seeds"],
+            sweep_result=figure_sweep["result"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.render())
+
+    for claim in figure.claims:
+        assert claim.holds, str(claim)
+
+    # The paper's y-axis tops out at 6 for its sizes; leave headroom for
+    # statistical wiggle but catch pathological hop counts.
+    for series in figure.series.values():
+        for value in series:
+            assert 1.0 <= value <= 10.0

@@ -1,0 +1,37 @@
+"""Figure 4 — transmissions for robot location updates per failure.
+
+Regenerates the paper's Figure 4: both distributed algorithms flood
+location updates through (part of) the sensor field and pay two orders
+of magnitude more transmissions than the centralized algorithm's routed
+updates; the dynamic algorithm pays slightly more than the fixed one.
+"""
+
+from repro.experiments import figure4_update_transmissions
+
+
+def test_figure4_update_transmissions(figure_sweep, benchmark):
+    figure = benchmark.pedantic(
+        figure4_update_transmissions,
+        kwargs=dict(
+            robot_counts=figure_sweep["robot_counts"],
+            seeds=figure_sweep["seeds"],
+            sweep_result=figure_sweep["result"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.render())
+
+    for claim in figure.claims:
+        assert claim.holds, str(claim)
+
+    # The paper's y-axis spans 0..300 transmissions per failure; our
+    # floods land in the same order of magnitude.
+    dynamic = figure.series["dynamic"]
+    fixed = figure.series["fixed"]
+    centralized = figure.series["centralized"]
+    for value in list(dynamic) + list(fixed):
+        assert 100.0 <= value <= 700.0
+    for value in centralized:
+        assert value <= 60.0

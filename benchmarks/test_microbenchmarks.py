@@ -1,0 +1,119 @@
+"""Microbenchmarks of the substrates (true timing benchmarks).
+
+Unlike the figure benches (which time one full experiment), these
+exercise the hot paths in isolation so performance regressions in the
+kernel, spatial index, Voronoi construction, or routing show up as
+timing changes.
+"""
+
+import random
+
+from repro.deploy import connected_uniform_positions
+from repro.geometry import Point, Rect, voronoi_cells
+from repro.net import Category, Channel, NetworkNode, RadioConfig
+from repro.routing import RoutingStats
+from repro.net.spatial import SpatialGrid
+from repro.sim import RandomStreams, Simulator
+
+
+def test_bench_event_kernel_throughput(benchmark):
+    """Schedule-and-run throughput of the DES kernel."""
+
+    def run_kernel():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                sim.call_in(1.0, tick)
+
+        sim.call_in(1.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_kernel) == 20_000
+
+
+def test_bench_spatial_grid_queries(benchmark):
+    """Range queries at the paper's sensor density."""
+    rng = random.Random(1)
+    grid = SpatialGrid(cell_size=80.0)
+    for index in range(800):
+        grid.insert(
+            f"s{index:04d}",
+            Point(rng.uniform(0, 800), rng.uniform(0, 800)),
+        )
+    probes = [
+        Point(rng.uniform(0, 800), rng.uniform(0, 800))
+        for _ in range(500)
+    ]
+
+    def query_all():
+        return sum(len(grid.within(p, 63.0)) for p in probes)
+
+    assert benchmark(query_all) > 0
+
+
+def test_bench_voronoi_construction(benchmark):
+    """Bounded Voronoi diagram at the paper's largest robot count."""
+    rng = random.Random(2)
+    bounds = Rect.square(800.0)
+    sites = [
+        Point(rng.uniform(0, 800), rng.uniform(0, 800)) for _ in range(16)
+    ]
+
+    def build():
+        return voronoi_cells(sites, bounds)
+
+    cells = benchmark(build)
+    assert abs(sum(c.area for c in cells) - bounds.area) < 1.0
+
+
+def test_bench_georouting_end_to_end(benchmark):
+    """Routed delivery across a 400-sensor field (tables pre-seeded)."""
+    rng = random.Random(3)
+    radio = 63.0
+    positions = connected_uniform_positions(
+        400, Rect.square(565.0), radio, rng
+    )
+    sim = Simulator()
+    streams = RandomStreams(3)
+    channel = Channel(sim, streams)
+    stats = RoutingStats()
+    nodes = [
+        NetworkNode(
+            f"s{index:04d}",
+            position,
+            RadioConfig(range_m=radio),
+            sim,
+            channel,
+            streams,
+            routing_stats=stats,
+        )
+        for index, position in enumerate(positions)
+    ]
+    for node in nodes:
+        for other in channel.nodes_within(
+            node.position, radio, exclude=node.node_id
+        ):
+            node.neighbor_table.upsert(
+                other.node_id, other.position, other.kind, 0.0
+            )
+
+    def route_fifty():
+        for index in range(50):
+            source = nodes[index]
+            target = nodes[-1 - index]
+            source.send_routed(
+                target.node_id,
+                target.position,
+                Category.DATA,
+                index,
+            )
+        sim.run(until=sim.now + 10.0)
+        return stats.delivered_count(Category.DATA)
+
+    delivered = benchmark.pedantic(route_fifty, rounds=3, iterations=1)
+    assert delivered >= 45

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare the paper's three coordination algorithms head to head.
+
+Runs centralized, fixed and dynamic on the same 9-robot deployment and
+prints the paper's three metrics side by side — a miniature of the
+evaluation section (§4.3).
+
+Run:
+    python examples/compare_algorithms.py
+"""
+
+from repro import Algorithm, paper_scenario, run_scenario
+from repro.experiments import render_table
+
+
+def main() -> None:
+    robot_count = 9
+    rows = []
+    for algorithm in Algorithm.ALL:
+        config = paper_scenario(
+            algorithm,
+            robot_count,
+            seed=7,
+            sim_time_s=16_000.0,
+            robot_speed_mps=4.0,  # low-utilization regime (paper §4.1)
+        )
+        print(f"running {algorithm} ...")
+        report = run_scenario(config)
+        rows.append(
+            [
+                algorithm,
+                report.failures,
+                report.repaired,
+                report.mean_travel_distance,
+                report.mean_report_hops,
+                report.update_transmissions_per_failure,
+                report.report_delivery_ratio,
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            [
+                "algorithm",
+                "failures",
+                "repaired",
+                "travel m/fail",
+                "report hops",
+                "update tx/fail",
+                "delivery",
+            ],
+            rows,
+            title=f"Coordination algorithms at {robot_count} robots "
+            "(paper Figures 2-4 in one table)",
+        )
+    )
+    print()
+    print("Expected shape (paper §4.3): fixed pays the most robot travel;")
+    print("centralized needs the most hops per report but almost no")
+    print("location-update traffic; dynamic floods slightly more than fixed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Visualise a maintenance run: ASCII field map plus event timeline.
+
+Renders the deployment field as a character grid — sensors, robots, the
+central manager — before and after the run, and prints the failure /
+replacement timeline in between.  Everything comes from the public
+tracing API; no simulator internals are touched.
+
+Run:
+    python examples/field_timeline.py
+"""
+
+import typing
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.core import RobotNode, SensorNode
+from repro.geometry import Point
+from repro.sim import RecordingSink, Tracer
+
+GRID_COLS = 60
+GRID_ROWS = 24
+
+
+def render_field(runtime: "ScenarioRuntime") -> str:
+    """The field as an ASCII grid: '.' sensor, 'R' robot, 'M' manager."""
+    side = runtime.config.area_side_m
+    grid = [[" "] * GRID_COLS for _ in range(GRID_ROWS)]
+
+    def plot(position: Point, glyph: str) -> None:
+        col = min(int(position.x / side * GRID_COLS), GRID_COLS - 1)
+        row = min(int(position.y / side * GRID_ROWS), GRID_ROWS - 1)
+        # Robots and the manager overwrite sensor dots.
+        if glyph != "." or grid[GRID_ROWS - 1 - row][col] == " ":
+            grid[GRID_ROWS - 1 - row][col] = glyph
+
+    for sensor in runtime.sensors_sorted():
+        plot(sensor.position, ".")
+    for robot in runtime.robots_sorted():
+        plot(robot.position, "R")
+    if runtime.manager is not None:
+        plot(runtime.manager.position, "M")
+
+    border = "+" + "-" * GRID_COLS + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def main() -> None:
+    config = paper_scenario(
+        Algorithm.CENTRALIZED,
+        robot_count=4,
+        seed=99,
+        sim_time_s=6_000.0,
+        sensors_per_robot=30,
+    )
+    tracer = Tracer()
+    events = RecordingSink()
+    tracer.subscribe("failure", events)
+    tracer.subscribe("replacement", events)
+
+    runtime = ScenarioRuntime(config, tracer=tracer)
+    runtime.initialize()
+
+    print(f"scenario: {config.describe()}")
+    print()
+    print("initial field ('.' sensor, 'R' robot, 'M' central manager):")
+    print(render_field(runtime))
+
+    report = runtime.run()
+
+    print()
+    print("timeline (first 20 events):")
+    for record in events.records[:20]:
+        if record.category == "failure":
+            position = record["position"]
+            print(
+                f"  t={record.time:8.1f}s  FAILURE      {record['node']:>14s}"
+                f"  at ({position.x:5.0f}, {position.y:5.0f})"
+            )
+        else:
+            print(
+                f"  t={record.time:8.1f}s  REPLACEMENT  "
+                f"{record['failed']:>14s}  by {record['robot']} "
+                f"({record['leg_distance']:.0f} m drive)"
+            )
+    remaining = len(events.records) - 20
+    if remaining > 0:
+        print(f"  ... {remaining} more events")
+
+    print()
+    print("final field (robots have moved to their last repairs):")
+    print(render_field(runtime))
+    print()
+    for line in report.summary_lines():
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

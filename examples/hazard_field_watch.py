@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Domain scenario: a hazard-field monitoring network under harsh
+conditions.
+
+The paper's introduction motivates sensor replacement with unattended
+networks "in various environments such as disaster areas, hazard fields,
+or battle fields" where components "are prone to failures ... especially
+serious in a hazardous environment".  This example models exactly that,
+using the library's extensions beyond the paper's baseline setup:
+
+* **Wear-out failures** — Weibull lifetimes (shape 2) instead of
+  memoryless exponentials: nodes age, so the failure rate climbs.
+* **Degraded radio** — 10 % frame loss; the link-layer ARQ retransmits.
+* **Finite spares** — each robot carries four replacement nodes and must
+  return to the depot at the field centre to restock.
+
+Run:
+    python examples/hazard_field_watch.py
+"""
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.deploy import WeibullLifetime
+from repro.net import Category
+from repro.sim import RecordingSink, Tracer
+
+
+def main() -> None:
+    config = paper_scenario(
+        Algorithm.DYNAMIC,
+        robot_count=4,
+        seed=2026,
+        sim_time_s=12_000.0,
+        loss_rate=0.10,
+        robot_capacity=4,
+    )
+    tracer = Tracer()
+    replacements = RecordingSink()
+    tracer.subscribe("replacement", replacements)
+
+    runtime = ScenarioRuntime(config, tracer=tracer)
+    # Harsh environment: wear-out failure regime replacing the default
+    # exponential model (mean ~= 5316 s).
+    runtime.failure_process.distribution = WeibullLifetime(
+        scale=6_000.0, shape=2.0
+    )
+
+    print(f"scenario: {config.describe()}")
+    print("environment: Weibull(6000 s, shape 2) wear-out, 10% frame "
+          "loss, 4 spares per robot")
+    print("running ...")
+    report = runtime.run()
+
+    print()
+    for line in report.summary_lines():
+        print(" ", line)
+
+    stats = runtime.channel.stats
+    print()
+    print("link-layer resilience:")
+    print(f"  frames lost to the channel : {stats.frames_lost}")
+    print(f"  retransmissions            : "
+          f"{sum(stats.retransmissions.values())}")
+    print(f"  acks transmitted           : "
+          f"{stats.transmissions.get(Category.ACK, 0)}")
+
+    print()
+    print("last five replacements:")
+    for record in replacements.records[-5:]:
+        print(
+            f"  t={record.time:8.1f}s  {record['failed']:>14s} replaced "
+            f"by {record['robot']} after a {record['leg_distance']:.0f} m "
+            "drive"
+        )
+
+    busiest = max(
+        report.transmissions_by_category.items(), key=lambda kv: kv[1]
+    )
+    print()
+    print(f"busiest message category: {busiest[0]} ({busiest[1]} frames)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (`python setup.py develop`).
+
+The canonical metadata lives in pyproject.toml; this file exists because
+the build environment has no network access and no `wheel` package, so
+PEP 660 editable installs are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

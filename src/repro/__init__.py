@@ -1,0 +1,59 @@
+"""repro — reproduction of "Replacing Failed Sensor Nodes by Mobile
+Robots" (Mei, Xian, Das, Hu, Lu; ICDCS Workshops 2006).
+
+A static wireless sensor network is maintained by a small number of
+mobile robots that replace failed nodes.  This package implements the
+paper's three coordination algorithms and every substrate they run on:
+a discrete-event simulation kernel, a unit-disk wireless stack with
+geographic (GPSR/GFG-style) routing, deployment and failure models,
+metrics, and an experiment harness that regenerates the paper's figures.
+
+Quickstart::
+
+    from repro import paper_scenario, run_scenario, Algorithm
+
+    report = run_scenario(paper_scenario(Algorithm.DYNAMIC, robot_count=4))
+    print("\\n".join(report.summary_lines()))
+"""
+
+from repro.core import (
+    CentralManagerNode,
+    RobotNode,
+    ScenarioRuntime,
+    SensorNode,
+    run_scenario,
+)
+from repro.deploy import (
+    Algorithm,
+    DetectionMode,
+    DispatchPolicy,
+    PAPER_ROBOT_COUNTS,
+    PartitionStyle,
+    PlacementStyle,
+    ScenarioConfig,
+    paper_scenario,
+)
+from repro.metrics import MetricsCollector, RunReport, SummaryStats, summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "DispatchPolicy",
+    "CentralManagerNode",
+    "DetectionMode",
+    "MetricsCollector",
+    "PAPER_ROBOT_COUNTS",
+    "PartitionStyle",
+    "PlacementStyle",
+    "RobotNode",
+    "RunReport",
+    "ScenarioConfig",
+    "ScenarioRuntime",
+    "SensorNode",
+    "SummaryStats",
+    "__version__",
+    "paper_scenario",
+    "run_scenario",
+    "summarize",
+]

@@ -1,0 +1,134 @@
+"""Closed-form expectations behind the paper's figures.
+
+The paper's curves have simple geometric explanations, and this module
+computes them.  The tests compare these predictions against the
+simulator; EXPERIMENTS.md cites them when explaining the measured
+magnitudes.
+
+* The **fixed** algorithm's motion overhead is the mean distance
+  between two independent uniform points in the 200 m × 200 m subarea —
+  the robot sits at its previous repair, the next failure is uniform
+  (:func:`mean_distance_uniform_square` ≈ 0.5214 · side ≈ 104 m).
+* The **centralized / dynamic** overhead at low utilization is the mean
+  distance from a uniform failure to the *nearest* of n uniform robots
+  (:func:`mean_nearest_robot_distance` ≈ ½·√(A/n) ≈ 100 m at the
+  paper's density — and strictly below the fixed value once robots can
+  cross subarea lines).
+* The **centralized report hop count** grows like the mean distance to
+  the field centre (:func:`mean_distance_to_center` ≈ 0.3826 · side)
+  divided by the per-hop greedy progress, while the distributed
+  algorithms' reports span one subarea (≈ 100 m / progress ≈ 2 hops) —
+  Figure 3's exact shape.
+* The **location-update transmissions** per failure are (travel / update
+  threshold) floods, each relayed once by every sensor in scope
+  (:func:`expected_update_transmissions`) — Figure 4's magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import typing
+
+__all__ = [
+    "MEAN_DISTANCE_UNIFORM_UNIT_SQUARE",
+    "MEAN_DISTANCE_TO_CENTER_UNIT_SQUARE",
+    "mean_distance_uniform_square",
+    "mean_distance_to_center",
+    "mean_nearest_robot_distance",
+    "expected_greedy_hops",
+    "expected_update_transmissions",
+    "monte_carlo_mean_distance",
+]
+
+#: Exact constant: E|P-Q| for P,Q uniform on the unit square
+#: ( (2 + √2 + 5·asinh(1)) / 15 ).
+MEAN_DISTANCE_UNIFORM_UNIT_SQUARE = (
+    2.0 + math.sqrt(2.0) + 5.0 * math.asinh(1.0)
+) / 15.0
+
+#: Exact constant: E|P-c| for P uniform on the unit square, c its centre
+#: ( (√2 + asinh(1)) / 6 ).
+MEAN_DISTANCE_TO_CENTER_UNIT_SQUARE = (
+    math.sqrt(2.0) + math.asinh(1.0)
+) / 6.0
+
+
+def mean_distance_uniform_square(side: float) -> float:
+    """E[distance] between two uniform points in a ``side``² square.
+
+    The fixed algorithm's steady-state motion overhead: its robot's
+    position and the next failure are both uniform in the subarea.
+    """
+    return MEAN_DISTANCE_UNIFORM_UNIT_SQUARE * side
+
+
+def mean_distance_to_center(side: float) -> float:
+    """E[distance] from a uniform point to the centre of a square.
+
+    The centralized algorithm's mean failure-report distance (§3.1 puts
+    the manager at the field centre).
+    """
+    return MEAN_DISTANCE_TO_CENTER_UNIT_SQUARE * side
+
+
+def mean_nearest_robot_distance(
+    area_m2: float, robot_count: int
+) -> float:
+    """E[distance] from a uniform point to the nearest of n uniform
+    robots, Poisson approximation ``0.5·sqrt(A/n)``.
+
+    The centralized/dynamic motion overhead at low utilization, modulo
+    boundary effects (the approximation ignores the field edge, so it
+    runs a few percent low at small n).
+    """
+    if robot_count < 1:
+        raise ValueError(f"need at least one robot: {robot_count}")
+    return 0.5 * math.sqrt(area_m2 / robot_count)
+
+
+def expected_greedy_hops(
+    distance_m: float,
+    radio_range_m: float,
+    progress_fraction: float = 0.72,
+) -> float:
+    """Hops for greedy geographic forwarding over *distance_m*.
+
+    Each hop advances about ``progress_fraction · range`` towards the
+    destination at the paper's density (~15 neighbours per sensor); the
+    default fraction matches the simulator's measured per-hop progress.
+    """
+    if distance_m <= 0:
+        return 0.0
+    return max(1.0, distance_m / (radio_range_m * progress_fraction))
+
+
+def expected_update_transmissions(
+    travel_per_failure_m: float,
+    update_threshold_m: float,
+    sensors_in_scope: float,
+    redundancy: float = 1.1,
+) -> float:
+    """Figure 4's magnitude for the distributed algorithms.
+
+    ``travel / threshold`` floods per failure (one per threshold
+    crossing, plus the arrival update rolls into the same count), each
+    relayed once by every sensor in the flood scope; *redundancy*
+    absorbs the origin transmission and boundary re-relays.
+    """
+    floods = travel_per_failure_m / update_threshold_m
+    return floods * sensors_in_scope * redundancy
+
+
+def monte_carlo_mean_distance(
+    sampler: typing.Callable[[random.Random], float],
+    samples: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo mean of a distance functional — the test oracle used
+    to validate the closed forms above."""
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(samples):
+        total += sampler(rng)
+    return total / samples

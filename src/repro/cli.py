@@ -1,0 +1,367 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro-sim run --algorithm dynamic --robots 9 --sim-time 16000
+    repro-sim compare --robots 9 --seed 7
+    repro-sim figure 2 --seeds 1 2 --sim-time 32000
+    repro-sim params
+
+Every command prints plain text tables; ``run`` can additionally write
+an SVG snapshot of the final field state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis import CoverageTracker, energy_report
+from repro.core.runtime import ScenarioRuntime
+from repro.experiments.ablations import (
+    dispatch_policy_ablation,
+    efficient_broadcast_ablation,
+    partition_ablation,
+    update_threshold_ablation,
+)
+from repro.deploy.scenario import (
+    Algorithm,
+    DispatchPolicy,
+    PAPER_ROBOT_COUNTS,
+    paper_scenario,
+)
+from repro.experiments.figures import (
+    figure2_motion_overhead,
+    figure3_hops,
+    figure4_update_transmissions,
+)
+from repro.experiments.render import render_table
+from repro.sim.trace import RecordingSink, Tracer
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "2": figure2_motion_overhead,
+    "3": figure3_hops,
+    "4": figure4_update_transmissions,
+}
+
+_ABLATIONS = {
+    "partition": partition_ablation,
+    "threshold": update_threshold_ablation,
+    "dispatch": dispatch_policy_ablation,
+    "broadcast": efficient_broadcast_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro-sim`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'Replacing Failed Sensor Nodes by Mobile "
+            "Robots' (ICDCSW'06): run scenarios, compare the three "
+            "coordination algorithms, regenerate the paper's figures."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one scenario")
+    _add_scenario_arguments(run)
+    run.add_argument(
+        "--energy",
+        action="store_true",
+        help="also print the energy report",
+    )
+    run.add_argument(
+        "--coverage",
+        action="store_true",
+        help="track and print sensing coverage",
+    )
+    run.add_argument(
+        "--svg",
+        metavar="FILE",
+        help="write an SVG snapshot of the final field state",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="run all three algorithms on one deployment"
+    )
+    _add_scenario_arguments(compare, with_algorithm=False)
+
+    figure = commands.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure.add_argument(
+        "number", choices=sorted(_FIGURES), help="paper figure number"
+    )
+    figure.add_argument(
+        "--robots",
+        type=int,
+        nargs="+",
+        default=list(PAPER_ROBOT_COUNTS),
+        help="robot counts to sweep (default: 4 9 16)",
+    )
+    figure.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2], help="seeds"
+    )
+    figure.add_argument(
+        "--sim-time", type=float, default=32_000.0, help="horizon (s)"
+    )
+    figure.add_argument(
+        "--speed",
+        type=float,
+        default=4.0,
+        help="robot speed (m/s); 4 = the benches' low-utilization "
+        "regime, 1 = the paper's literal setting",
+    )
+    figure.add_argument(
+        "--svg",
+        metavar="FILE",
+        help="also write the figure as an SVG line chart",
+    )
+
+    ablate = commands.add_parser(
+        "ablate", help="run one of the ablation studies"
+    )
+    ablate.add_argument(
+        "study",
+        choices=sorted(_ABLATIONS),
+        help="which design choice to ablate",
+    )
+    ablate.add_argument("--robots", type=int, default=9)
+    ablate.add_argument("--seed", type=int, default=1)
+    ablate.add_argument(
+        "--sim-time", type=float, default=16_000.0, help="horizon (s)"
+    )
+
+    commands.add_parser(
+        "params", help="print the paper's default parameters"
+    )
+    return parser
+
+
+def _add_scenario_arguments(
+    parser: argparse.ArgumentParser, with_algorithm: bool = True
+) -> None:
+    if with_algorithm:
+        parser.add_argument(
+            "--algorithm",
+            choices=Algorithm.ALL,
+            default=Algorithm.DYNAMIC,
+            help="coordination algorithm",
+        )
+    parser.add_argument("--robots", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sim-time", type=float, default=16_000.0, help="horizon (s)"
+    )
+    parser.add_argument(
+        "--speed", type=float, default=1.0, help="robot speed (m/s)"
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.0, help="frame loss rate [0,1)"
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="spares per robot (default: unlimited)",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=DispatchPolicy.ALL,
+        default=DispatchPolicy.CLOSEST,
+        help="central-manager dispatch policy (centralized only)",
+    )
+    parser.add_argument(
+        "--traffic-period",
+        type=float,
+        default=None,
+        help="enable background sensor readings every N seconds",
+    )
+
+
+def _config_from_args(args: argparse.Namespace, algorithm: str):
+    return paper_scenario(
+        algorithm,
+        args.robots,
+        seed=args.seed,
+        sim_time_s=args.sim_time,
+        robot_speed_mps=args.speed,
+        loss_rate=args.loss,
+        robot_capacity=args.capacity,
+        dispatch_policy=args.dispatch,
+        data_traffic_period_s=args.traffic_period,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args, args.algorithm)
+    tracer = Tracer()
+    moves = RecordingSink()
+    if args.svg:
+        tracer.subscribe("move", moves)
+    runtime = ScenarioRuntime(config, tracer=tracer)
+    tracker = (
+        CoverageTracker(runtime, period=config.sim_time_s / 32)
+        if args.coverage
+        else None
+    )
+    print(f"running: {config.describe()}")
+    report = runtime.run()
+    print()
+    for line in report.summary_lines():
+        print(" ", line)
+    if args.traffic_period:
+        from repro.net import Category
+
+        stats = runtime.routing_stats
+        print(
+            "  data readings: "
+            f"{stats.originated.get(Category.DATA, 0)} sent, "
+            f"delivery {stats.delivery_ratio(Category.DATA):.3f}, "
+            f"{stats.mean_hops(Category.DATA):.2f} hops"
+        )
+    if tracker is not None:
+        print()
+        print(
+            f"  coverage: mean {tracker.mean_coverage():.3f}, "
+            f"min {tracker.minimum_coverage():.3f}, "
+            f"deficit {tracker.deficit_integral():.1f} fraction-s"
+        )
+    if args.energy:
+        print()
+        for line in energy_report(
+            runtime.channel, runtime.metrics
+        ).summary_lines():
+            print(" ", line)
+    if args.svg:
+        from repro.viz import render_field_svg, trails_from_trace
+
+        svg = render_field_svg(
+            runtime, trails=trails_from_trace(moves.records)
+        )
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"\n  wrote {args.svg}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for algorithm in Algorithm.ALL:
+        config = _config_from_args(args, algorithm)
+        print(f"running {algorithm} ...", file=sys.stderr)
+        report = ScenarioRuntime(config).run()
+        rows.append(
+            [
+                algorithm,
+                report.failures,
+                report.repaired,
+                report.mean_travel_distance,
+                report.mean_report_hops,
+                report.update_transmissions_per_failure,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "algorithm",
+                "failures",
+                "repaired",
+                "travel m/fail",
+                "report hops",
+                "update tx/fail",
+            ],
+            rows,
+            title=f"{args.robots} robots, seed {args.seed}, "
+            f"{args.sim_time:.0f} s",
+        )
+    )
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    generator = _FIGURES[args.number]
+    figure = generator(
+        robot_counts=tuple(args.robots),
+        seeds=tuple(args.seeds),
+        parallel=False,
+        sim_time_s=args.sim_time,
+        robot_speed_mps=args.speed,
+    )
+    print(figure.render())
+    if args.svg:
+        from repro.viz import figure_to_svg
+
+        y_labels = {
+            "2": "average traveling distance per failure (m)",
+            "3": "average number of hops per failure",
+            "4": "transmissions for location update per failure",
+        }
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(
+                figure_to_svg(figure, y_label=y_labels[args.number])
+            )
+        print(f"wrote {args.svg}")
+    return 0 if figure.all_claims_hold else 1
+
+
+def _command_ablate(args: argparse.Namespace) -> int:
+    study = _ABLATIONS[args.study]
+    if args.study == "partition":  # multi-seed signature
+        result = study(
+            robot_count=args.robots,
+            seeds=(args.seed,),
+            sim_time_s=args.sim_time,
+        )
+    else:
+        result = study(
+            robot_count=args.robots,
+            seed=args.seed,
+            sim_time_s=args.sim_time,
+        )
+    print(result.table())
+    return 0
+
+
+def _command_params(_args: argparse.Namespace) -> int:
+    config = paper_scenario(Algorithm.CENTRALIZED, 16)
+    rows = [
+        ["area per robot", "200 m x 200 m"],
+        ["sensors per robot", config.sensors_per_robot],
+        ["field @16 robots", f"{config.area_side_m:.0f} m square"],
+        ["sensors @16 robots", config.sensor_count],
+        ["robot speed", f"{config.robot_speed_mps} m/s"],
+        ["sensor lifetime", f"Exp({config.mean_lifetime_s:.0f} s)"],
+        ["simulation time", f"{config.sim_time_s:.0f} s"],
+        ["beacon period", f"{config.beacon_period_s:.0f} s"],
+        [
+            "failure after",
+            f"{config.missed_beacons_for_failure} missed beacons",
+        ],
+        ["update threshold", f"{config.update_threshold_m:.0f} m"],
+        ["sensor radio", "63 m @ 11 Mbps"],
+        ["robot/manager radio", "250 m @ 11 Mbps"],
+    ]
+    print(render_table(["parameter", "value"], rows, title="paper §4.1"))
+    return 0
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "figure": _command_figure,
+        "ablate": _command_ablate,
+        "params": _command_params,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

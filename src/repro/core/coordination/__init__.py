@@ -1,0 +1,30 @@
+"""The paper's three robot coordination algorithms."""
+
+from repro.core.coordination.base import CoordinationStrategy
+from repro.core.coordination.centralized import CentralizedStrategy
+from repro.core.coordination.dynamic import DynamicStrategy
+from repro.core.coordination.fixed import FixedStrategy
+
+__all__ = [
+    "CentralizedStrategy",
+    "CoordinationStrategy",
+    "DynamicStrategy",
+    "FixedStrategy",
+    "strategy_for",
+]
+
+_REGISTRY = {
+    CentralizedStrategy.name: CentralizedStrategy,
+    FixedStrategy.name: FixedStrategy,
+    DynamicStrategy.name: DynamicStrategy,
+}
+
+
+def strategy_for(runtime) -> CoordinationStrategy:
+    """Instantiate the strategy named in the runtime's config."""
+    algorithm = runtime.config.algorithm
+    try:
+        cls = _REGISTRY[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown algorithm: {algorithm!r}") from None
+    return cls(runtime)

@@ -1,0 +1,133 @@
+"""The coordination-strategy interface.
+
+A strategy answers the two questions of paper §3 — *how is a failure
+reported* and *which robot handles it* — plus the supporting policies
+those answers imply: where robots start, who a sensor may pick as its
+guardian, how robot location updates propagate, and how far sensors
+relay them.
+
+One strategy instance serves a whole scenario; per-sensor state lives on
+the sensors themselves (``myrobot``, ``known_robots``, ``subarea``).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import typing
+
+from repro.geometry.point import Point
+from repro.net.frames import NodeId
+from repro.net.neighbors import NeighborEntry
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.messages import FloodMessage
+    from repro.core.robot import RobotNode
+    from repro.core.runtime import ScenarioRuntime
+    from repro.core.sensor import SensorNode
+
+__all__ = ["CoordinationStrategy"]
+
+
+class CoordinationStrategy(abc.ABC):
+    """Base class for the paper's three coordination algorithms."""
+
+    #: Algorithm name, matching :class:`repro.deploy.Algorithm`.
+    name: str = "abstract"
+
+    def __init__(self, runtime: "ScenarioRuntime") -> None:
+        self.runtime = runtime
+        self.config = runtime.config
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+        """Initial positions for the maintenance robots."""
+
+    @property
+    def uses_central_manager(self) -> bool:
+        """True when a dedicated static manager node exists."""
+        return False
+
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """Run the algorithm-specific part of initialization (§2 stage a).
+
+        Called after all nodes exist and neighbour tables are seeded.
+        Seeds manager/myrobot knowledge administratively (the paper's
+        "initial deployment process") and emits the corresponding
+        initialization messages on the air for accounting fidelity.
+        """
+
+    def seed_replacement(self, sensor: "SensorNode") -> None:
+        """Initialize a freshly placed replacement sensor's knowledge.
+
+        Default: copy robot knowledge from the nearest live sensor
+        neighbour (the paper's new-node bootstrap: neighbours respond
+        with beacons carrying their state); subclasses refine.
+        """
+        donor = self._nearest_sensor_neighbor(sensor)
+        if donor is not None:
+            sensor.known_robots.update(donor.known_robots)
+            sensor.manager_id = donor.manager_id
+            sensor.manager_position = donor.manager_position
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def report_target(
+        self, sensor: "SensorNode"
+    ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
+        """Where *sensor* sends a failure report: ``(node_id, location)``."""
+
+    def guardian_allowed(
+        self, sensor: "SensorNode", entry: NeighborEntry
+    ) -> bool:
+        """May *sensor* pick neighbour *entry* as its guardian?"""
+        return True
+
+    # ------------------------------------------------------------------
+    # Robot location dissemination
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def publish_robot_location(self, robot: "RobotNode", seq: int) -> None:
+        """Send the messages implied by *robot* crossing the update
+        threshold (or arriving)."""
+
+    @abc.abstractmethod
+    def should_relay_flood(
+        self, sensor: "SensorNode", flood: "FloodMessage"
+    ) -> bool:
+        """Should *sensor* rebroadcast *flood* (called once per seq)?"""
+
+    def on_flood_learned(
+        self, sensor: "SensorNode", flood: "FloodMessage"
+    ) -> None:
+        """Hook after *sensor* folded *flood* into its robot knowledge."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _nearest_sensor_neighbor(
+        self, sensor: "SensorNode"
+    ) -> typing.Optional["SensorNode"]:
+        """The nearest live sensor in radio contact with *sensor*."""
+        from repro.core.sensor import SensorNode as _SensorNode
+
+        best: typing.Optional[_SensorNode] = None
+        best_d2 = float("inf")
+        for node in self.runtime.channel.nodes_within(
+            sensor.position,
+            sensor.radio.range_m,
+            exclude=sensor.node_id,
+        ):
+            if not isinstance(node, _SensorNode):
+                continue
+            d2 = sensor.position.squared_distance_to(node.position)
+            if d2 < best_d2:
+                best = node
+                best_d2 = d2
+        return best

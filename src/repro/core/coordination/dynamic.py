@@ -1,0 +1,136 @@
+"""Dynamic distributed manager algorithm (paper §3.3).
+
+No fixed boundaries: the effective partition is the Voronoi diagram of
+the robots' current positions, maintained *implicitly* — robots flood
+their location updates, and every sensor keeps "myrobot" pointed at the
+closest robot it knows of.  The relay scope is wider than the moving
+robot's own cell: sensors that might switch to the robot — or whose
+radio neighbours might — also relay, which is exactly why the paper
+observes slightly higher messaging overhead than the fixed algorithm
+(§3.3 last paragraph, Figure 4).
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.core.coordination.base import CoordinationStrategy
+from repro.core.messages import FloodMessage
+from repro.deploy.placement import uniform_random_positions
+from repro.geometry.point import Point
+from repro.geometry.voronoi import closest_site_index
+from repro.net.frames import Category, NodeId
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.robot import RobotNode
+    from repro.core.sensor import SensorNode
+
+__all__ = ["DynamicStrategy"]
+
+
+class DynamicStrategy(CoordinationStrategy):
+    """Voronoi-implicit partition; sensors track the closest robot."""
+
+    name = "dynamic"
+
+    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+        """Robots start uniformly distributed (paper §2 assumption (a))."""
+        return uniform_random_positions(
+            self.config.robot_count, self.config.bounds, rng
+        )
+
+    def setup(self) -> None:
+        robots = self.runtime.robots_sorted()
+        positions = [robot.position for robot in robots]
+
+        # Deployment-time seed: every sensor knows the initial robot
+        # layout and adopts the closest robot as myrobot.
+        for sensor in self.runtime.sensors_sorted():
+            for robot in robots:
+                sensor.known_robots[robot.node_id] = (robot.position, 0)
+            index = closest_site_index(sensor.position, positions)
+            sensor.myrobot_id = robots[index].node_id
+            sensor.myrobot_position = robots[index].position
+
+        # On-air initialization floods: with empty relay knowledge these
+        # propagate network-wide, establishing the same state on the air.
+        for robot in robots:
+            robot.send_broadcast(
+                Category.INITIALIZATION,
+                FloodMessage(
+                    origin_id=robot.node_id,
+                    position=robot.position,
+                    kind=robot.kind,
+                    seq=robot.next_flood_seq(),
+                ),
+            )
+
+    def seed_replacement(self, sensor: "SensorNode") -> None:
+        """Copy robot knowledge from the nearest neighbour, then adopt
+        the closest known robot as myrobot."""
+        super().seed_replacement(sensor)
+        self._refresh_myrobot(sensor)
+
+    def report_target(
+        self, sensor: "SensorNode"
+    ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
+        closest = sensor.closest_known_robot()
+        if closest is None:
+            if sensor.myrobot_id is None or sensor.myrobot_position is None:
+                return None
+            return (sensor.myrobot_id, sensor.myrobot_position)
+        return closest
+
+    def publish_robot_location(self, robot: "RobotNode", seq: int) -> None:
+        """Flood the new position with Voronoi-adaptive scope."""
+        robot.send_broadcast(
+            Category.LOCATION_UPDATE,
+            FloodMessage(
+                origin_id=robot.node_id,
+                position=robot.position,
+                kind=robot.kind,
+                seq=seq,
+            ),
+        )
+
+    def should_relay_flood(
+        self, sensor: "SensorNode", flood: FloodMessage
+    ) -> bool:
+        """Relay iff this sensor is in the announcing robot's (implicit)
+        Voronoi cell or the boundary band around it.
+
+        Formally: relay when ``d(s, p_R) <= d(s, closest other robot
+        known to s) + margin``.  The margin band admits the boundary
+        sensors of neighbouring cells that the paper calls out ("such
+        nodes may also need to relay the location update messages");
+        with no other robot known the flood is unbounded (which makes
+        the very first initialization flood network-wide).
+        """
+        if self.config.efficient_broadcast and not self.runtime.is_relay(
+            sensor.node_id
+        ):
+            return False
+        distance_to_origin = sensor.position.distance_to(flood.position)
+        closest_other = sensor.closest_known_robot(
+            exclude={flood.origin_id}
+        )
+        if closest_other is None:
+            return True
+        distance_to_other = sensor.position.distance_to(closest_other[1])
+        return (
+            distance_to_origin
+            <= distance_to_other + self.config.dynamic_relay_margin_m
+        )
+
+    def on_flood_learned(
+        self, sensor: "SensorNode", flood: FloodMessage
+    ) -> None:
+        """Sensors dynamically adjust myrobot to the closest robot."""
+        self._refresh_myrobot(sensor)
+
+    @staticmethod
+    def _refresh_myrobot(sensor: "SensorNode") -> None:
+        closest = sensor.closest_known_robot()
+        if closest is not None:
+            sensor.myrobot_id, sensor.myrobot_position = closest

@@ -1,0 +1,145 @@
+"""Fixed distributed manager algorithm (paper §3.2).
+
+The field is partitioned into equal-size subareas (squares by default),
+one robot per subarea.  Each robot is manager *and* maintainer for its
+subarea: sensors report failures to the subarea robot, and the robot's
+location updates are flooded to — and relayed by — exactly the sensors of
+that subarea, with duplicate suppression by sequence number.
+Guardian/guardee pairs are restricted to one subarea.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.core.coordination.base import CoordinationStrategy
+from repro.core.messages import FloodMessage
+from repro.geometry.partition import (
+    Partition,
+    SquarePartition,
+    StaggeredPartition,
+)
+from repro.geometry.point import Point
+from repro.net.frames import Category, NodeId
+from repro.net.neighbors import NeighborEntry
+from repro.deploy.scenario import PartitionStyle
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.robot import RobotNode
+    from repro.core.sensor import SensorNode
+
+__all__ = ["FixedStrategy"]
+
+
+class FixedStrategy(CoordinationStrategy):
+    """One robot per fixed subarea; reports stay within the subarea."""
+
+    name = "fixed"
+
+    def __init__(self, runtime: typing.Any) -> None:
+        super().__init__(runtime)
+        self.partition: Partition = self._build_partition()
+        #: subarea index -> robot id, fixed for the whole run.
+        self.robot_of_subarea: typing.Dict[int, NodeId] = {}
+
+    def _build_partition(self) -> Partition:
+        if self.config.partition == PartitionStyle.STAGGERED:
+            return StaggeredPartition(
+                self.config.bounds, self.config.robot_count
+            )
+        return SquarePartition(self.config.bounds, self.config.robot_count)
+
+    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+        """Robots post up at their subarea centres (paper §3.2: "the
+        robots first move to the centers of their corresponding
+        subareas"; that setup move precedes measurement)."""
+        return self.partition.centers()
+
+    def setup(self) -> None:
+        robots = self.runtime.robots_sorted()
+        for index, robot in enumerate(robots):
+            robot.subarea = index
+            self.robot_of_subarea[index] = robot.node_id
+
+        # Sensors learn their subarea and manager in deployment; the
+        # robots then flood their positions within their subareas.
+        for sensor in self.runtime.sensors_sorted():
+            self._assign_sensor(sensor)
+        for index, robot in enumerate(robots):
+            robot.send_broadcast(
+                Category.INITIALIZATION,
+                FloodMessage(
+                    origin_id=robot.node_id,
+                    position=robot.position,
+                    kind=robot.kind,
+                    seq=robot.next_flood_seq(),
+                    subarea=index,
+                ),
+            )
+
+    def _assign_sensor(self, sensor: "SensorNode") -> None:
+        index = self.partition.index_of(sensor.position)
+        sensor.subarea = index
+        robot_id = self.robot_of_subarea[index]
+        sensor.myrobot_id = robot_id
+        initial = self.partition.center_of(index)
+        sensor.myrobot_position = initial
+        sensor.known_robots[robot_id] = (initial, 0)
+
+    def seed_replacement(self, sensor: "SensorNode") -> None:
+        """A replacement sensor inherits the subarea assignment and the
+        donor's view of the subarea robot's position."""
+        self._assign_sensor(sensor)
+        donor = self._nearest_sensor_neighbor(sensor)
+        if donor is not None and sensor.myrobot_id is not None:
+            known = donor.known_robots.get(sensor.myrobot_id)
+            if known is not None:
+                sensor.known_robots[sensor.myrobot_id] = known
+                sensor.myrobot_position = known[0]
+
+    def report_target(
+        self, sensor: "SensorNode"
+    ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
+        if sensor.myrobot_id is None:
+            return None
+        known = sensor.known_robots.get(sensor.myrobot_id)
+        position = known[0] if known else sensor.myrobot_position
+        if position is None:
+            return None
+        return (sensor.myrobot_id, position)
+
+    def guardian_allowed(
+        self, sensor: "SensorNode", entry: NeighborEntry
+    ) -> bool:
+        """Guardian pairs stay within one subarea (paper §3.2)."""
+        return self.partition.index_of(entry.position) == sensor.subarea
+
+    def publish_robot_location(self, robot: "RobotNode", seq: int) -> None:
+        """Flood the new position to every sensor of the subarea."""
+        robot.send_broadcast(
+            Category.LOCATION_UPDATE,
+            FloodMessage(
+                origin_id=robot.node_id,
+                position=robot.position,
+                kind=robot.kind,
+                seq=seq,
+                subarea=robot.subarea,
+            ),
+        )
+
+    def should_relay_flood(
+        self, sensor: "SensorNode", flood: FloodMessage
+    ) -> bool:
+        """Relay iff the flood belongs to this sensor's subarea."""
+        if self.config.efficient_broadcast and not self.runtime.is_relay(
+            sensor.node_id
+        ):
+            return False
+        return flood.subarea == sensor.subarea
+
+    def on_flood_learned(
+        self, sensor: "SensorNode", flood: FloodMessage
+    ) -> None:
+        if flood.origin_id == sensor.myrobot_id:
+            sensor.myrobot_position = flood.position

@@ -1,0 +1,95 @@
+"""Application-layer message payloads of the coordination protocols.
+
+These ride inside :class:`repro.net.frames.Packet` payloads.  The
+categories they map to drive the paper's overhead accounting:
+
+* :class:`FailureNotice` — ``failure_report`` (guardian → manager).
+* :class:`ReplacementRequest` — ``repair_request`` (manager → maintainer;
+  only exists as a routed message in the centralized algorithm — in the
+  distributed algorithms the receiving robot *is* the manager).
+* :class:`FloodMessage` — ``location_update`` when a moving robot
+  broadcasts its position (or ``initialization`` during setup); relayed
+  by sensors with duplicate suppression by sequence number.
+* :class:`GuardianConfirm` — ``guardian_control`` (guardee → guardian,
+  one hop).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.geometry.point import Point
+from repro.net.frames import NodeId
+
+__all__ = [
+    "CompletionNotice",
+    "FailureNotice",
+    "ReplacementRequest",
+    "FloodMessage",
+    "GuardianConfirm",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FailureNotice:
+    """A guardian's report that its guardee has failed."""
+
+    failed_id: NodeId
+    failed_position: Point
+    guardian_id: NodeId
+    detect_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReplacementRequest:
+    """The central manager's instruction to a maintenance robot."""
+
+    failed_id: NodeId
+    failed_position: Point
+    robot_id: NodeId
+    notice: FailureNotice
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FloodMessage:
+    """A position announcement flooded through (part of) the network.
+
+    ``origin_id`` is the robot or manager whose position is announced;
+    ``seq`` increases monotonically per origin, and sensors relay a given
+    ``(origin, seq)`` at most once (paper §3.2: "remembering the sequence
+    number of the robot location updates it has relayed before").
+    ``subarea`` scopes fixed-algorithm floods to the robot's subarea;
+    it is None for centralized and dynamic floods.
+    """
+
+    origin_id: NodeId
+    position: Point
+    kind: str
+    seq: int
+    subarea: typing.Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CompletionNotice:
+    """A maintainer's report that a replacement finished.
+
+    Only sent in the centralized algorithm under the load-aware dispatch
+    policies (:class:`repro.deploy.DispatchPolicy`), which need the
+    manager to track each robot's outstanding work.  Not part of the
+    paper's baseline protocol.
+    """
+
+    robot_id: NodeId
+    failed_id: NodeId
+    completion_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GuardianConfirm:
+    """A guardee's confirmation establishing the guardian relationship."""
+
+    guardee_id: NodeId
+    guardee_position: Point
+    #: True when replacing a previous guardian that failed.
+    reselection: bool = False

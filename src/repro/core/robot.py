@@ -1,0 +1,264 @@
+"""Maintenance robot behaviour.
+
+A robot waits for replacement work, drives to failure sites at constant
+speed (1 m/s, Pioneer 3DX per paper §4.1), replaces the failed node, and
+publishes its location whenever it has moved more than the update
+threshold (20 m — a third of the sensor radio range, §4.2) since its
+last update, plus once on arrival.  Requests queue FCFS (§3.1).
+
+In the distributed algorithms the robot is also the *manager*: failure
+reports arrive directly and are enqueued locally.  In the centralized
+algorithm the robot only receives :class:`ReplacementRequest` messages
+forwarded by the central manager.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.core.messages import (
+    CompletionNotice,
+    FailureNotice,
+    ReplacementRequest,
+)
+from repro.deploy.scenario import DispatchPolicy
+from repro.geometry.point import Point
+from repro.net.frames import Category, NodeId, Packet
+from repro.net.node import NetworkNode
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import ScenarioRuntime
+
+__all__ = ["RepairTask", "RobotNode"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RepairTask:
+    """One queued replacement job."""
+
+    failed_id: NodeId
+    position: Point
+    notice: typing.Optional[FailureNotice] = None
+
+
+class RobotNode(NetworkNode):
+    """A mobile maintenance robot (and, when distributed, a manager)."""
+
+    kind = "robot"
+
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        runtime: "ScenarioRuntime" = kwargs.pop("runtime")
+        super().__init__(*args, **kwargs)
+        self.runtime = runtime
+        config = runtime.config
+        self.speed = config.robot_speed_mps
+        self.update_threshold = config.update_threshold_m
+        #: Seconds spent swapping in the new node (0 in the paper's model).
+        self.service_time = 0.0
+        #: Fixed-algorithm subarea this robot manages (None otherwise).
+        self.subarea: typing.Optional[int] = None
+        #: Spares carried; None = unlimited (the paper's implicit model).
+        self.capacity = config.robot_capacity
+        self.spares = config.robot_capacity
+        #: Where to reload spares (field centre); used only with capacity.
+        self.depot: typing.Optional[Point] = None
+        self.reload_time = 0.0
+        #: Central manager contact (centralized algorithm; set by the
+        #: strategy during initialization — paper §3.1: "the manager
+        #: broadcasts its location to ... all the maintenance robots").
+        self.manager_id: typing.Optional[NodeId] = None
+        self.manager_position: typing.Optional[Point] = None
+        #: Home post for the return-to-post extension (deployment
+        #: position; None unless the extension is enabled).
+        self.home: typing.Optional[Point] = (
+            self.position
+            if config.return_to_post_after_s is not None
+            else None
+        )
+        self.return_after = config.return_to_post_after_s
+
+        self._queue: typing.Deque[RepairTask] = collections.deque()
+        self._handled: typing.Set[NodeId] = set()
+        self._wakeup = None
+        self._flood_seq = 0
+        self._distance_since_update = 0.0
+        self._loop_started = False
+
+    # ------------------------------------------------------------------
+    # Work intake
+    # ------------------------------------------------------------------
+    def on_packet_delivered(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, FailureNotice):
+            # Distributed algorithms: this robot is the manager.
+            if payload.failed_id in self._handled:
+                return
+            self._handled.add(payload.failed_id)
+            metrics = self.runtime.metrics
+            metrics.record_report(
+                payload.failed_id, self.node_id, self.sim.now, packet.hops
+            )
+            metrics.record_dispatch(
+                payload.failed_id, self.node_id, self.sim.now
+            )
+            self.enqueue(
+                RepairTask(
+                    failed_id=payload.failed_id,
+                    position=payload.failed_position,
+                    notice=payload,
+                )
+            )
+        elif isinstance(payload, ReplacementRequest):
+            # Centralized algorithm: forwarded by the central manager.
+            if payload.failed_id in self._handled:
+                return
+            self._handled.add(payload.failed_id)
+            self.runtime.metrics.record_request_hops(
+                payload.failed_id, packet.hops
+            )
+            self.enqueue(
+                RepairTask(
+                    failed_id=payload.failed_id,
+                    position=payload.failed_position,
+                    notice=payload.notice,
+                )
+            )
+
+    def enqueue(self, task: RepairTask) -> None:
+        """Add a repair job to the FCFS queue and wake the robot."""
+        self._queue.append(task)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (not counting one being executed)."""
+        return len(self._queue)
+
+    @property
+    def is_idle(self) -> bool:
+        """True while parked waiting for work."""
+        return self._wakeup is not None and not self._wakeup.triggered
+
+    # ------------------------------------------------------------------
+    # Maintenance loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the maintenance process (idempotent)."""
+        if self._loop_started:
+            return
+        self._loop_started = True
+        self.sim.process(
+            self._maintenance_loop(), name=f"robot:{self.node_id}"
+        )
+
+    def _maintenance_loop(self) -> typing.Generator:
+        while True:
+            while not self._queue:
+                self._wakeup = self.sim.event()
+                if self.home is not None and self.return_after is not None:
+                    timer = self.sim.timeout(self.return_after)
+                    yield self.sim.any_of([self._wakeup, timer])
+                    if not self._wakeup.triggered:
+                        # Idle grace expired: head home, abandoning the
+                        # trip the moment new work arrives.
+                        self._wakeup = None
+                        yield from self._drive_to(
+                            self.home, abort_on_work=True
+                        )
+                        continue
+                else:
+                    yield self._wakeup
+                self._wakeup = None
+            task = self._queue.popleft()
+            leg_distance = yield from self._drive_to(task.position)
+            if self.service_time > 0:
+                yield self.sim.timeout(self.service_time)
+            self.runtime.complete_replacement(self, task, leg_distance)
+            self._report_completion(task)
+            if self.capacity is not None:
+                self.spares = (self.spares or 0) - 1
+                if self.spares <= 0 and self.depot is not None:
+                    yield from self._drive_to(self.depot)
+                    if self.reload_time > 0:
+                        yield self.sim.timeout(self.reload_time)
+                    self.spares = self.capacity
+
+    def _drive_to(
+        self, target: Point, abort_on_work: bool = False
+    ) -> typing.Generator:
+        """Drive in a straight line to *target* at constant speed.
+
+        Motion is integrated in segments that end exactly at each
+        location-update threshold crossing, so updates fire at the same
+        positions a continuous model would produce.  Returns the distance
+        travelled.  With ``abort_on_work`` the drive stops at the next
+        segment boundary once repair work is queued (used by the
+        return-to-post extension).
+        """
+        travelled = 0.0
+        while not self.position.is_close(target, 1e-9):
+            if abort_on_work and self._queue:
+                return travelled
+            remaining = self.position.distance_to(target)
+            to_next_update = self.update_threshold - self._distance_since_update
+            step = min(remaining, max(to_next_update, 1e-9))
+            yield self.sim.timeout(step / self.speed)
+            self.move_to(self.position.towards(target, step))
+            travelled += step
+            self._distance_since_update += step
+            self.runtime.metrics.record_travel(self.node_id, step)
+            if self._distance_since_update >= self.update_threshold - 1e-9:
+                self.publish_location()
+        # Paper §3.1: after replacing (i.e. on arrival) the robot updates
+        # the manager / nearby sensors with its final position.
+        if self._distance_since_update > 1e-9:
+            self.publish_location()
+        return travelled
+
+    def _report_completion(self, task: RepairTask) -> None:
+        """Tell the manager this job finished (load-aware policies only).
+
+        The paper's baseline dispatch ("closest") needs no feedback, so
+        no message is sent there — keeping baseline transmission counts
+        untouched.
+        """
+        if (
+            self.runtime.config.dispatch_policy == DispatchPolicy.CLOSEST
+            or self.manager_id is None
+            or self.manager_position is None
+        ):
+            return
+        self.send_routed(
+            self.manager_id,
+            self.manager_position,
+            Category.COMPLETION,
+            CompletionNotice(
+                robot_id=self.node_id,
+                failed_id=task.failed_id,
+                completion_time=self.sim.now,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Location updates
+    # ------------------------------------------------------------------
+    def publish_location(self) -> None:
+        """Announce the current position per the active algorithm."""
+        self._distance_since_update = 0.0
+        self._flood_seq += 1
+        self.runtime.coordination.publish_robot_location(
+            self, self._flood_seq
+        )
+
+    @property
+    def flood_seq(self) -> int:
+        """Monotone sequence number for this robot's announcements."""
+        return self._flood_seq
+
+    def next_flood_seq(self) -> int:
+        """Advance and return the announcement sequence number."""
+        self._flood_seq += 1
+        return self._flood_seq

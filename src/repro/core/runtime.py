@@ -1,0 +1,509 @@
+"""Scenario runtime: builds a deployment and drives it end to end.
+
+:class:`ScenarioRuntime` turns a :class:`~repro.deploy.ScenarioConfig`
+into a live simulation: it places sensors and robots, wires the
+coordination strategy, runs the initialization protocol (paper §2 stage
+a), schedules failures, and performs replacements when robots arrive.
+It is the only place where "administrative" actions happen — state seeded
+directly instead of via messages — and every such action mirrors a
+deployment-time or excluded-from-measurement protocol step, as documented
+inline.
+
+Typical use::
+
+    from repro.core import ScenarioRuntime
+    from repro.deploy import paper_scenario, Algorithm
+
+    runtime = ScenarioRuntime(paper_scenario(Algorithm.DYNAMIC, 9, seed=1))
+    report = runtime.run()
+    print("\\n".join(report.summary_lines()))
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.coordination import CoordinationStrategy, strategy_for
+from repro.core.manager import CentralManagerNode
+from repro.core.robot import RepairTask, RobotNode
+from repro.core.sensor import SensorNode
+from repro.core.traffic import DataTrafficService
+from repro.deploy.failure import ExponentialLifetime, FailureProcess
+from repro.deploy.placement import (
+    connected_uniform_positions,
+    jittered_grid_positions,
+)
+from repro.deploy.scenario import (
+    DetectionMode,
+    PlacementStyle,
+    ScenarioConfig,
+)
+from repro.geometry.point import Point
+from repro.metrics.collector import MetricsCollector, RunReport
+from repro.net.beacon import BeaconService
+from repro.net.channel import Channel
+from repro.net.frames import Category, NodeAnnouncement, NodeId
+from repro.net.node import NetworkNode
+from repro.net.radio import robot_radio, sensor_radio
+from repro.routing.stats import RoutingStats
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["ScenarioRuntime", "run_scenario"]
+
+
+class ScenarioRuntime:
+    """One fully wired simulated deployment."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        tracer: typing.Optional[Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.tracer = tracer or Tracer()
+        self.channel = Channel(self.sim, self.streams, self.tracer)
+        self.routing_stats = RoutingStats()
+        self.metrics = MetricsCollector()
+
+        #: Live sensors by id (dead sensors are removed).
+        self.sensors: typing.Dict[NodeId, SensorNode] = {}
+        #: Maintenance robots by id.
+        self.robots: typing.Dict[NodeId, RobotNode] = {}
+        #: The central manager (centralized algorithm only).
+        self.manager: typing.Optional[CentralManagerNode] = None
+        #: Mirror of guardianship: guardee id -> guardian id (or None).
+        self.guardian_of: typing.Dict[NodeId, typing.Optional[NodeId]] = {}
+
+        self.failure_process = FailureProcess(
+            self.sim,
+            ExponentialLifetime(config.mean_lifetime_s),
+            self.streams.stream("lifetime"),
+            horizon=config.sim_time_s,
+        )
+        self.failure_process.death_hooks.append(self._on_sensor_death)
+
+        self._detection_rng = self.streams.stream("detection")
+        #: Background sensing traffic (paper's motivating workload);
+        #: active only when the config sets a traffic period.
+        self.traffic: typing.Optional[DataTrafficService] = (
+            DataTrafficService(self, config.data_traffic_period_s)
+            if config.data_traffic_period_s is not None
+            else None
+        )
+        self._beacon_services: typing.Dict[NodeId, BeaconService] = {}
+        self._replacement_counter = 0
+        self._relay_set: typing.Optional[typing.Set[NodeId]] = None
+        self._initialized = False
+
+        # Strategy construction may consult config-derived geometry only;
+        # node-dependent setup happens in initialize().
+        self.coordination: CoordinationStrategy = strategy_for(self)
+        self._build_nodes()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> None:
+        config = self.config
+        placement_rng = self.streams.stream("placement")
+        if config.placement == PlacementStyle.GRID:
+            sensor_positions = jittered_grid_positions(
+                config.sensor_count, config.bounds, placement_rng
+            )
+        else:
+            sensor_positions = connected_uniform_positions(
+                config.sensor_count,
+                config.bounds,
+                sensor_radio().range_m,
+                placement_rng,
+            )
+
+        for index, position in enumerate(sensor_positions):
+            self._create_sensor(f"sensor-{index:04d}", position)
+
+        robot_rng = self.streams.stream("robot_placement")
+        for index, position in enumerate(
+            self.coordination.robot_positions(robot_rng)
+        ):
+            robot = RobotNode(
+                f"robot-{index:02d}",
+                position,
+                robot_radio(config.loss_rate),
+                self.sim,
+                self.channel,
+                self.streams,
+                routing_stats=self.routing_stats,
+                tracer=self.tracer,
+                runtime=self,
+            )
+            robot.router.shortcut_slack_m = config.update_threshold_m
+            if config.robot_capacity is not None:
+                robot.depot = config.bounds.center
+            self.robots[robot.node_id] = robot
+
+        if self.coordination.uses_central_manager:
+            self.manager = CentralManagerNode(
+                "manager-00",
+                config.bounds.center,
+                robot_radio(config.loss_rate),
+                self.sim,
+                self.channel,
+                self.streams,
+                routing_stats=self.routing_stats,
+                tracer=self.tracer,
+                runtime=self,
+            )
+            self.manager.router.shortcut_slack_m = config.update_threshold_m
+
+        # Administrative neighbour-table seed: stands in for the paper's
+        # initialization location broadcasts ("all the sensors broadcast
+        # their locations to their one-hop neighbors"), whose messages
+        # are still emitted in initialize() for accounting.
+        for node in self.channel.nodes():
+            self._seed_node_neighbors(node, bidirectional=False)
+
+    def _create_sensor(self, node_id: NodeId, position: Point) -> SensorNode:
+        sensor = SensorNode(
+            node_id,
+            position,
+            sensor_radio(self.config.loss_rate),
+            self.sim,
+            self.channel,
+            self.streams,
+            routing_stats=self.routing_stats,
+            tracer=self.tracer,
+            runtime=self,
+        )
+        sensor.router.shortcut_slack_m = self.config.update_threshold_m
+        self.sensors[node_id] = sensor
+        return sensor
+
+    def _seed_node_neighbors(
+        self, node: NetworkNode, bidirectional: bool
+    ) -> None:
+        """Fill neighbour tables by radio reachability.
+
+        A node ``u`` appears in ``v``'s table iff ``v`` can hear ``u``,
+        i.e. the distance is within *u's* (the sender's) range.
+        """
+        now = self.sim.now
+        probe_range = max(node.radio.range_m, robot_radio().range_m)
+        for other in self.channel.nodes_within(
+            node.position, probe_range, exclude=node.node_id
+        ):
+            distance = node.position.distance_to(other.position)
+            if distance <= other.radio.range_m:
+                node.neighbor_table.upsert(
+                    other.node_id, other.position, other.kind, now
+                )
+            if bidirectional and distance <= node.radio.range_m:
+                other.neighbor_table.upsert(
+                    node.node_id, node.position, node.kind, now
+                )
+
+    # ------------------------------------------------------------------
+    # Initialization (paper §2 stage a)
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Run the three initialization steps and start all processes."""
+        if self._initialized:
+            return
+        self._initialized = True
+
+        # Step: sensors broadcast their locations for neighbour discovery
+        # and guardian establishment (messages counted; state was seeded).
+        for sensor in self.sensors_sorted():
+            sensor.send_broadcast(
+                Category.INITIALIZATION,
+                NodeAnnouncement(
+                    node_id=sensor.node_id,
+                    position=sensor.position,
+                    kind=sensor.kind,
+                ),
+            )
+
+        # Step: algorithm-specific role and relationship setup.
+        self.coordination.setup()
+
+        # Step: guardian/guardee establishment — every sensor picks its
+        # nearest (eligible) neighbour and confirms.
+        for sensor in self.sensors_sorted():
+            sensor.select_guardian(send_confirm=True)
+
+        # Detection machinery.
+        if self.config.detection_mode == DetectionMode.BEACON:
+            for sensor in self.sensors_sorted():
+                self._start_beaconing(sensor)
+
+        # Robots start waiting for work.
+        for robot in self.robots_sorted():
+            robot.start()
+
+        # Background sensing traffic, when configured.
+        if self.traffic is not None:
+            self.traffic.start()
+
+        # Failures begin.
+        for sensor in self.sensors_sorted():
+            self.failure_process.register(sensor)
+
+    def _start_beaconing(self, sensor: SensorNode) -> None:
+        service = BeaconService(
+            sensor, self.config.beacon_period_s, started=True
+        )
+        self._beacon_services[sensor.node_id] = service
+        sensor.start_beacon_watch()
+
+    # ------------------------------------------------------------------
+    # Death & detection
+    # ------------------------------------------------------------------
+    def _on_sensor_death(self, node: NetworkNode, time: float) -> None:
+        self.metrics.record_death(node.node_id, node.position, time)
+        self.sensors.pop(node.node_id, None)
+        self._beacon_services.pop(node.node_id, None)
+        if self.tracer.active:
+            self.tracer.emit(
+                "failure", time=time, node=node.node_id,
+                position=node.position,
+            )
+        if self.config.detection_mode == DetectionMode.EVENT:
+            low, high = self.config.detection_delay_bounds
+            delay = self._detection_rng.uniform(low, high)
+            failed_id = node.node_id
+            position = node.position
+            self.sim.call_in(
+                delay, lambda: self._event_detection(failed_id, position)
+            )
+
+    def _event_detection(self, failed_id: NodeId, position: Point) -> None:
+        """Event-mode stand-in for beacon-timeout detection.
+
+        Performs exactly what the beacon protocol would have converged to
+        by this time: neighbours purge the dead node, its guardian
+        reports the failure, and its orphaned guardees re-select
+        guardians.
+        """
+        # Neighbours that could hear the dead node drop it from their
+        # tables (beacon expiry would have done this by now).
+        for node in self.channel.nodes_within(
+            position, sensor_radio().range_m
+        ):
+            node.neighbor_table.remove(failed_id)
+
+        guardian_id = self.guardian_of.get(failed_id)
+        guardian = self.sensors.get(guardian_id) if guardian_id else None
+        if guardian is not None and guardian.alive:
+            guardian.detect_and_report(failed_id, position)
+        else:
+            # The guardian died too (the paper assumes this is rare but
+            # we still handle it): the nearest live sensor notices after
+            # one more beacon period.
+            fallback = self._nearest_live_sensor(position, exclude=failed_id)
+            if fallback is not None:
+                self.sim.call_in(
+                    self.config.beacon_period_s,
+                    lambda: fallback.detect_and_report(failed_id, position),
+                )
+
+        # Orphaned guardees re-select (paper: a guardee that stops
+        # hearing its guardian picks a new one).
+        for guardee_id, gid in list(self.guardian_of.items()):
+            if gid != failed_id:
+                continue
+            guardee = self.sensors.get(guardee_id)
+            if guardee is not None and guardee.alive:
+                guardee.neighbor_table.remove(failed_id)
+                guardee.select_guardian(exclude={failed_id})
+
+    def _nearest_live_sensor(
+        self, position: Point, exclude: NodeId
+    ) -> typing.Optional[SensorNode]:
+        best: typing.Optional[SensorNode] = None
+        best_d2 = float("inf")
+        for node in self.channel.nodes_within(
+            position, sensor_radio().range_m, exclude=exclude
+        ):
+            if not isinstance(node, SensorNode):
+                continue
+            d2 = position.squared_distance_to(node.position)
+            if d2 < best_d2:
+                best = node
+                best_d2 = d2
+        return best
+
+    def note_guardian(
+        self, guardee_id: NodeId, guardian_id: typing.Optional[NodeId]
+    ) -> None:
+        """Record who guards *guardee_id* (called by sensors)."""
+        self.guardian_of[guardee_id] = guardian_id
+
+    # ------------------------------------------------------------------
+    # Replacement
+    # ------------------------------------------------------------------
+    def complete_replacement(
+        self, robot: RobotNode, task: RepairTask, leg_distance: float
+    ) -> None:
+        """Robot arrived at the failure site: place a functional node.
+
+        Paper §4.2(a): "After a failed node is replaced, the new node
+        broadcasts its location to its one-hop neighbors.  The neighbors
+        send beacons containing their own locations.  This enables the
+        new node to set up its own neighbor table."
+        """
+        self._replacement_counter += 1
+        new_id = f"sensor-r{self._replacement_counter:05d}"
+        sensor = self._create_sensor(new_id, task.position)
+
+        # Administrative bootstrap mirroring the broadcast/beacon
+        # exchange quoted above (messages emitted below for accounting).
+        self._seed_node_neighbors(sensor, bidirectional=True)
+        self.coordination.seed_replacement(sensor)
+        sensor.send_broadcast(
+            Category.INITIALIZATION,
+            NodeAnnouncement(
+                node_id=new_id, position=task.position, kind=sensor.kind
+            ),
+        )
+        sensor.select_guardian(send_confirm=True)
+
+        if self.config.detection_mode == DetectionMode.BEACON:
+            self._start_beaconing(sensor)
+        if self.config.regenerate_lifetimes:
+            self.failure_process.register(sensor)
+        if self.traffic is not None:
+            self.traffic.attach(sensor)
+
+        self.metrics.record_replacement(
+            task.failed_id,
+            robot.node_id,
+            self.sim.now,
+            leg_distance,
+            new_id,
+        )
+        if self.tracer.active:
+            self.tracer.emit(
+                "replacement",
+                time=self.sim.now,
+                failed=task.failed_id,
+                robot=robot.node_id,
+                new_node=new_id,
+                leg_distance=leg_distance,
+            )
+
+    # ------------------------------------------------------------------
+    # Efficient broadcast (extension; paper future work)
+    # ------------------------------------------------------------------
+    def is_relay(self, node_id: NodeId) -> bool:
+        """Is *node_id* in the relay (connected dominating) set?
+
+        Only consulted when ``config.efficient_broadcast`` is on.
+        Replacement sensors are conservatively treated as relays.
+        """
+        if self._relay_set is None:
+            self._relay_set = self._compute_relay_set()
+        if node_id.startswith("sensor-r"):
+            return True
+        return node_id in self._relay_set
+
+    def _compute_relay_set(self) -> typing.Set[NodeId]:
+        """Greedy connected-dominating-set over the initial sensor graph.
+
+        Classic Guha–Khuller style growth: repeatedly blacken the
+        gray node covering the most uncovered (white) sensors.  The
+        result is connected because only gray (already dominated)
+        nodes are blackened.
+        """
+        sensors = self.sensors_sorted()
+        if not sensors:
+            return set()
+        range_m = sensor_radio().range_m
+        adjacency: typing.Dict[NodeId, typing.List[NodeId]] = {}
+        for sensor in sensors:
+            adjacency[sensor.node_id] = [
+                other.node_id
+                for other in self.channel.nodes_within(
+                    sensor.position, range_m, exclude=sensor.node_id
+                )
+                if isinstance(other, SensorNode)
+            ]
+
+        white = {s.node_id for s in sensors}
+        black: typing.Set[NodeId] = set()
+        gray: typing.Set[NodeId] = set()
+
+        # Seed: the sensor with the most neighbours.
+        seed = max(sensors, key=lambda s: len(adjacency[s.node_id])).node_id
+        black.add(seed)
+        white.discard(seed)
+        for neighbor in adjacency[seed]:
+            if neighbor in white:
+                white.discard(neighbor)
+                gray.add(neighbor)
+
+        while white:
+            candidates = sorted(gray)
+            if not candidates:
+                # Disconnected remainder: seed a new component.
+                next_seed = sorted(white)[0]
+                gray.add(next_seed)
+                white.discard(next_seed)
+                candidates = [next_seed]
+            choice = max(
+                candidates,
+                key=lambda nid: (
+                    sum(1 for n in adjacency[nid] if n in white),
+                    nid,
+                ),
+            )
+            gray.discard(choice)
+            black.add(choice)
+            for neighbor in adjacency[choice]:
+                if neighbor in white:
+                    white.discard(neighbor)
+                    gray.add(neighbor)
+        return black
+
+    # ------------------------------------------------------------------
+    # Queries & run loop
+    # ------------------------------------------------------------------
+    def sensors_sorted(self) -> typing.List[SensorNode]:
+        """Live sensors in id order."""
+        return [self.sensors[nid] for nid in sorted(self.sensors)]
+
+    def robots_sorted(self) -> typing.List[RobotNode]:
+        """Robots in id order."""
+        return [self.robots[nid] for nid in sorted(self.robots)]
+
+    def run(
+        self, until: typing.Optional[float] = None
+    ) -> RunReport:
+        """Initialize (if needed), simulate, and summarise."""
+        self.initialize()
+        self.sim.run(until=until if until is not None else self.config.sim_time_s)
+        return self.report()
+
+    def report(self) -> RunReport:
+        """Summarise the run so far."""
+        return self.metrics.report(
+            self.channel, self.routing_stats, self.config.describe()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScenarioRuntime {self.config.algorithm} "
+            f"robots={len(self.robots)} sensors={len(self.sensors)} "
+            f"t={self.sim.now:.0f}>"
+        )
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    tracer: typing.Optional[Tracer] = None,
+    until: typing.Optional[float] = None,
+) -> RunReport:
+    """Build, run and summarise one scenario — the main convenience API."""
+    return ScenarioRuntime(config, tracer=tracer).run(until=until)

@@ -1,0 +1,299 @@
+"""Sensor node behaviour: guardians, beacons, failure reporting, floods.
+
+Sensors are static.  Each sensor:
+
+* keeps a neighbour table fresh through beacons (full-beacon mode);
+* *guards* the neighbours that chose it (reporting their failures) and
+  is in turn guarded by its own nearest neighbour (paper §3.1);
+* tracks robot positions learned from location-update floods, relaying
+  each flood at most once per sequence number, with the relay scope
+  decided by the active coordination strategy (§3.2, §3.3);
+* reports detected failures to its manager — the central manager, its
+  subarea robot, or the closest robot, depending on the algorithm.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.messages import FailureNotice, FloodMessage, GuardianConfirm
+from repro.geometry.point import Point
+from repro.net.frames import Category, NodeAnnouncement, NodeId, Packet
+from repro.net.node import NetworkNode
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import ScenarioRuntime
+
+__all__ = ["SensorNode"]
+
+
+class SensorNode(NetworkNode):
+    """A static sensor participating in failure detection and reporting."""
+
+    kind = "sensor"
+
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        runtime: "ScenarioRuntime" = kwargs.pop("runtime")
+        super().__init__(*args, **kwargs)
+        self.runtime = runtime
+
+        #: This sensor's guardian (the neighbour that watches over it).
+        self.guardian_id: typing.Optional[NodeId] = None
+        #: Sensors that chose this node as their guardian.
+        self.guardees: typing.Set[NodeId] = set()
+        #: Last known positions of guardees (needed to report failures).
+        self.guardee_positions: typing.Dict[NodeId, Point] = {}
+
+        #: The robot this sensor reports failures to ("myrobot", §3.2/3.3).
+        self.myrobot_id: typing.Optional[NodeId] = None
+        self.myrobot_position: typing.Optional[Point] = None
+        #: Central manager contact (centralized algorithm only).
+        self.manager_id: typing.Optional[NodeId] = None
+        self.manager_position: typing.Optional[Point] = None
+
+        #: Robot positions learned from floods: id -> (position, seq).
+        self.known_robots: typing.Dict[
+            NodeId, typing.Tuple[Point, int]
+        ] = {}
+        #: Fixed-algorithm subarea index of this sensor (None otherwise).
+        self.subarea: typing.Optional[int] = None
+
+        #: Highest flood sequence number relayed, per origin.
+        self._flood_seen: typing.Dict[NodeId, int] = {}
+        #: Last time a beacon (or announcement) was heard, per neighbour.
+        self._last_beacon: typing.Dict[NodeId, float] = {}
+        #: Failures this sensor has already reported (suppress repeats).
+        self._reported: typing.Set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # Receive hooks
+    # ------------------------------------------------------------------
+    def on_broadcast_received(
+        self, packet: Packet, sender_id: NodeId, sender_position: Point
+    ) -> None:
+        payload = packet.payload
+        if isinstance(payload, NodeAnnouncement):
+            self._last_beacon[payload.node_id] = self.sim.now
+            if payload.node_id in self.guardees:
+                self.guardee_positions[payload.node_id] = payload.position
+        elif isinstance(payload, FloodMessage):
+            self._handle_flood(packet, payload)
+
+    def on_packet_delivered(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, GuardianConfirm):
+            self.accept_guardee(payload.guardee_id, payload.guardee_position)
+
+    # ------------------------------------------------------------------
+    # Guardian / guardee protocol
+    # ------------------------------------------------------------------
+    def accept_guardee(self, guardee_id: NodeId, position: Point) -> None:
+        """Become guardian for *guardee_id* (via confirm or bootstrap)."""
+        self.guardees.add(guardee_id)
+        self.guardee_positions[guardee_id] = position
+        self._last_beacon[guardee_id] = self.sim.now
+        self.runtime.note_guardian(guardee_id, self.node_id)
+
+    def release_guardee(self, guardee_id: NodeId) -> None:
+        """Stop guarding *guardee_id* (it failed or re-selected)."""
+        self.guardees.discard(guardee_id)
+        self.guardee_positions.pop(guardee_id, None)
+
+    def select_guardian(
+        self,
+        exclude: typing.Container[NodeId] = (),
+        send_confirm: bool = True,
+    ) -> typing.Optional[NodeId]:
+        """Pick the nearest eligible sensor neighbour as guardian.
+
+        The strategy may restrict candidates (the fixed algorithm keeps
+        guardian pairs within one subarea, §3.2).  Returns the chosen
+        guardian id, or None when no neighbour qualifies (the runtime's
+        detection fallback still covers such orphans).
+        """
+        candidates = [
+            entry
+            for entry in self.neighbor_table.of_kind("sensor")
+            if entry.node_id not in exclude
+            and self.runtime.coordination.guardian_allowed(self, entry)
+        ]
+        best = None
+        best_d2 = float("inf")
+        for entry in candidates:
+            d2 = self.position.squared_distance_to(entry.position)
+            if d2 < best_d2:
+                best = entry
+                best_d2 = d2
+        if best is None:
+            self.guardian_id = None
+            self.runtime.note_guardian(self.node_id, None)
+            return None
+        self.guardian_id = best.node_id
+        self._last_beacon.setdefault(best.node_id, self.sim.now)
+        self.runtime.note_guardian(self.node_id, best.node_id)
+        if send_confirm:
+            self.send_routed(
+                best.node_id,
+                best.position,
+                Category.GUARDIAN_CONTROL,
+                GuardianConfirm(
+                    guardee_id=self.node_id,
+                    guardee_position=self.position,
+                    reselection=bool(exclude),
+                ),
+            )
+        return best.node_id
+
+    # ------------------------------------------------------------------
+    # Failure detection & reporting
+    # ------------------------------------------------------------------
+    def detect_and_report(
+        self, failed_id: NodeId, failed_position: Point
+    ) -> None:
+        """Declare *failed_id* dead and report it to the manager.
+
+        Called by the beacon watcher (full-beacon mode) or scheduled by
+        the runtime (event mode).
+        """
+        if not self.alive or failed_id in self._reported:
+            return
+        self._reported.add(failed_id)
+        self.release_guardee(failed_id)
+        self.neighbor_table.remove(failed_id)
+        self.runtime.metrics.record_detection(
+            failed_id, self.node_id, self.sim.now
+        )
+        notice = FailureNotice(
+            failed_id=failed_id,
+            failed_position=failed_position,
+            guardian_id=self.node_id,
+            detect_time=self.sim.now,
+        )
+        target = self.runtime.coordination.report_target(self)
+        if target is None:
+            return  # No manager known — detection recorded, report lost.
+        target_id, target_position = target
+        self.send_routed(
+            target_id,
+            target_position,
+            Category.FAILURE_REPORT,
+            notice,
+        )
+
+    def start_beacon_watch(self) -> None:
+        """Run the per-period guardian/guardee liveness checks.
+
+        Only used in full-beacon mode; event mode schedules detections
+        directly.
+        """
+        self.sim.process(
+            self._watch_loop(), name=f"watch:{self.node_id}"
+        )
+
+    def _watch_loop(self) -> typing.Generator:
+        period = self.runtime.config.beacon_period_s
+        timeout_s = (
+            self.runtime.config.missed_beacons_for_failure * period
+        )
+        while self.alive:
+            yield self.sim.timeout(period)
+            if not self.alive:
+                return
+            now = self.sim.now
+            # Guardees: report the silent ones.
+            for guardee_id in sorted(self.guardees):
+                last = self._last_beacon.get(guardee_id, 0.0)
+                if now - last > timeout_s:
+                    position = self.guardee_positions.get(guardee_id)
+                    if position is not None:
+                        self.detect_and_report(guardee_id, position)
+            # Guardian: silently re-select when it disappears.
+            if self.guardian_id is not None:
+                last = self._last_beacon.get(self.guardian_id, 0.0)
+                if now - last > timeout_s:
+                    old = self.guardian_id
+                    self.neighbor_table.remove(old)
+                    self.select_guardian(exclude={old})
+            # Prune stale *sensor* entries so greedy forwarding does not
+            # aim at corpses.  Robot entries are refreshed by floods, not
+            # beacons, so they are exempt.
+            for entry in self.neighbor_table.of_kind("sensor"):
+                if now - self._last_beacon.get(entry.node_id, 0.0) > timeout_s:
+                    self.neighbor_table.remove(entry.node_id)
+
+    # ------------------------------------------------------------------
+    # Location-update floods
+    # ------------------------------------------------------------------
+    def _handle_flood(self, packet: Packet, flood: FloodMessage) -> None:
+        if packet.source == flood.origin_id:
+            # Heard the robot itself: it is a one-hop neighbour right now.
+            self.neighbor_table.upsert(
+                flood.origin_id, flood.position, flood.kind, self.sim.now
+            )
+        last_seq = self._flood_seen.get(flood.origin_id, -1)
+        if flood.seq <= last_seq:
+            return  # Duplicate or superseded: nothing new to learn/relay.
+        self._flood_seen[flood.origin_id] = flood.seq
+        self._learn_from_flood(flood)
+        if self.runtime.coordination.should_relay_flood(self, flood):
+            relay = Packet(
+                source=self.node_id,
+                destination=packet.destination,
+                category=packet.category,
+                payload=flood,
+            )
+            self.mac.broadcast_packet(relay)
+
+    def _learn_from_flood(self, flood: FloodMessage) -> None:
+        """Fold a flooded announcement into local robot knowledge."""
+        if flood.kind == "manager":
+            self.manager_id = flood.origin_id
+            self.manager_position = flood.position
+            return
+        known = self.known_robots.get(flood.origin_id)
+        if known is None or flood.seq >= known[1]:
+            self.known_robots[flood.origin_id] = (flood.position, flood.seq)
+        # Keep the routing layer's idea of robot positions fresh too.
+        entry = self.neighbor_table.get(flood.origin_id)
+        if entry is not None:
+            self.neighbor_table.upsert(
+                flood.origin_id, flood.position, flood.kind, self.sim.now
+            )
+        self.runtime.coordination.on_flood_learned(self, flood)
+
+    # ------------------------------------------------------------------
+    # Robot knowledge queries (used by strategies)
+    # ------------------------------------------------------------------
+    def closest_known_robot(
+        self, exclude: typing.Container[NodeId] = ()
+    ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
+        """The robot with the smallest known distance to this sensor."""
+        best: typing.Optional[typing.Tuple[NodeId, Point]] = None
+        best_d2 = float("inf")
+        position_of = self.position
+        for robot_id, (position, _seq) in self.known_robots.items():
+            if robot_id in exclude:
+                continue
+            d2 = position_of.squared_distance_to(position)
+            if d2 < best_d2 or (
+                d2 == best_d2 and best is not None and robot_id < best[0]
+            ):
+                best = (robot_id, position)
+                best_d2 = d2
+        return best
+
+    def location_hint(
+        self, node_id: NodeId
+    ) -> typing.Optional[typing.Tuple[Point, int]]:
+        """Serve robot positions learned from floods to the router."""
+        known = self.known_robots.get(node_id)
+        if known is None:
+            return None
+        return known
+
+    def distance_to_robot(self, robot_id: NodeId) -> float:
+        """Distance to a robot's last known position (inf if unknown)."""
+        known = self.known_robots.get(robot_id)
+        if known is None:
+            return float("inf")
+        return self.position.distance_to(known[0])

@@ -1,0 +1,47 @@
+"""Deployment: placement, lifetimes/failures, and scenario configs."""
+
+from repro.deploy.failure import (
+    DEFAULT_MEAN_LIFETIME_S,
+    ExponentialLifetime,
+    FailureProcess,
+    FixedLifetime,
+    LifetimeDistribution,
+    WeibullLifetime,
+)
+from repro.deploy.placement import (
+    connected_uniform_positions,
+    is_connected,
+    jittered_grid_positions,
+    uniform_random_positions,
+)
+from repro.deploy.scenario import (
+    Algorithm,
+    DetectionMode,
+    DispatchPolicy,
+    PAPER_ROBOT_COUNTS,
+    PartitionStyle,
+    PlacementStyle,
+    ScenarioConfig,
+    paper_scenario,
+)
+
+__all__ = [
+    "Algorithm",
+    "DEFAULT_MEAN_LIFETIME_S",
+    "DetectionMode",
+    "DispatchPolicy",
+    "ExponentialLifetime",
+    "FailureProcess",
+    "FixedLifetime",
+    "LifetimeDistribution",
+    "PAPER_ROBOT_COUNTS",
+    "PartitionStyle",
+    "PlacementStyle",
+    "ScenarioConfig",
+    "WeibullLifetime",
+    "connected_uniform_positions",
+    "is_connected",
+    "jittered_grid_positions",
+    "paper_scenario",
+    "uniform_random_positions",
+]

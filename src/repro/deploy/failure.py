@@ -1,0 +1,169 @@
+"""Sensor lifetime distributions and the failure process.
+
+Paper §2 assumption (a): "The lifetime of a node is limited, and follows
+an exponential distribution with an expected value of T", with
+T = 16 000 s in the evaluation (§4.1 item 6).  Replacement nodes start a
+fresh lifetime, so failures keep occurring over the whole simulation.
+
+:class:`FailureProcess` owns the death scheduling: the scenario runtime
+registers every sensor (and every replacement sensor) with it, and it
+kills the node at its sampled failure time, notifying subscribers so the
+metrics collector can time repairs.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.net.node import NetworkNode
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+__all__ = [
+    "LifetimeDistribution",
+    "ExponentialLifetime",
+    "WeibullLifetime",
+    "FixedLifetime",
+    "FailureProcess",
+    "DEFAULT_MEAN_LIFETIME_S",
+]
+
+#: The paper's expected sensor lifetime (§4.1 item 6).
+DEFAULT_MEAN_LIFETIME_S = 16_000.0
+
+
+class LifetimeDistribution(typing.Protocol):
+    """Samples node lifetimes in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one lifetime."""
+        ...  # pragma: no cover - protocol
+
+
+class ExponentialLifetime:
+    """Memoryless lifetime with the given mean — the paper's model."""
+
+    def __init__(self, mean: float = DEFAULT_MEAN_LIFETIME_S) -> None:
+        if mean <= 0:
+            raise ValueError(f"non-positive mean lifetime: {mean}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLifetime(mean={self.mean})"
+
+
+class WeibullLifetime:
+    """Weibull lifetime — wear-out (shape > 1) or infant-mortality
+    (shape < 1) failure regimes, beyond the paper's memoryless model.
+
+    ``scale`` is the Weibull λ parameter; the mean is
+    ``λ · Γ(1 + 1/shape)``.
+    """
+
+    def __init__(self, scale: float, shape: float) -> None:
+        if scale <= 0 or shape <= 0:
+            raise ValueError(
+                f"non-positive Weibull parameters: scale={scale} shape={shape}"
+            )
+        self.scale = scale
+        self.shape = shape
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.weibullvariate(self.scale, self.shape)
+
+    def __repr__(self) -> str:
+        return f"WeibullLifetime(scale={self.scale}, shape={self.shape})"
+
+
+class FixedLifetime:
+    """Deterministic lifetime — used by tests that need exact timings."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"non-positive lifetime: {value}")
+        self.value = value
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FixedLifetime({self.value})"
+
+
+class FailureProcess:
+    """Schedules and executes sensor deaths.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    distribution:
+        Lifetime distribution shared by all registered nodes.
+    rng:
+        Stream for lifetime draws (typically ``streams.stream("lifetime")``).
+    horizon:
+        Deaths sampled beyond this time are not scheduled at all (the
+        run ends first) — avoids a pile of dead events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        distribution: LifetimeDistribution,
+        rng: random.Random,
+        horizon: typing.Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.distribution = distribution
+        self.rng = rng
+        self.horizon = horizon
+        self.failures = 0
+        #: Hooks called as ``hook(node, time)`` right after a death.
+        self.death_hooks: typing.List[
+            typing.Callable[[NetworkNode, float], None]
+        ] = []
+        self._scheduled: typing.Dict[str, Event] = {}
+
+    def register(self, node: NetworkNode) -> float:
+        """Sample a lifetime for *node* and schedule its death.
+
+        Returns the absolute death time (possibly beyond the horizon, in
+        which case no event is scheduled).
+        """
+        lifetime = self.distribution.sample(self.rng)
+        death_time = self.sim.now + lifetime
+        if self.horizon is not None and death_time > self.horizon:
+            return death_time
+        event = self.sim.call_in(lifetime, lambda: self._kill(node))
+        self._scheduled[node.node_id] = event
+        return death_time
+
+    def cancel(self, node_id: str) -> None:
+        """Withdraw a scheduled death (e.g. node retired gracefully)."""
+        event = self._scheduled.pop(node_id, None)
+        if event is not None:
+            self.sim.cancel(event)
+
+    def kill_now(self, node: NetworkNode) -> None:
+        """Force an immediate failure (failure-injection in tests)."""
+        self.cancel(node.node_id)
+        self._kill(node)
+
+    def _kill(self, node: NetworkNode) -> None:
+        self._scheduled.pop(node.node_id, None)
+        if not node.alive:
+            return
+        node.die()
+        self.failures += 1
+        for hook in self.death_hooks:
+            hook(node, self.sim.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureProcess {self.distribution!r} failures={self.failures} "
+            f"pending={len(self._scheduled)}>"
+        )

@@ -1,0 +1,148 @@
+"""Node placement strategies.
+
+The paper assumes sensors and robots are "randomly uniformly distributed
+in a 2-dimensional field" (§2 assumption (a)).  Uniform placement is the
+default; a jittered grid is available for tests and examples that want
+guaranteed coverage, and a connectivity check lets the scenario builder
+resample the rare disconnected layout (the paper's density — 50 sensors
+per 200 m × 200 m with a 63 m radio — is connected with overwhelming
+probability).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import typing
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Rect
+
+__all__ = [
+    "uniform_random_positions",
+    "jittered_grid_positions",
+    "is_connected",
+    "connected_uniform_positions",
+]
+
+
+def uniform_random_positions(
+    count: int, bounds: Rect, rng: random.Random
+) -> typing.List[Point]:
+    """*count* positions drawn i.i.d. uniformly over *bounds*."""
+    if count < 0:
+        raise ValueError(f"negative count: {count}")
+    return [
+        Point(
+            rng.uniform(bounds.x_min, bounds.x_max),
+            rng.uniform(bounds.y_min, bounds.y_max),
+        )
+        for _ in range(count)
+    ]
+
+
+def jittered_grid_positions(
+    count: int,
+    bounds: Rect,
+    rng: typing.Optional[random.Random] = None,
+    jitter_fraction: float = 0.25,
+) -> typing.List[Point]:
+    """*count* positions on a near-square grid, each jittered within its
+    cell by ±``jitter_fraction`` of the cell size.
+
+    With ``rng=None`` the grid is exact (no jitter) — useful for fully
+    deterministic unit tests.
+    """
+    if count <= 0:
+        return []
+    cols = max(1, round(math.sqrt(count * bounds.width / bounds.height)))
+    rows = math.ceil(count / cols)
+    cell_w = bounds.width / cols
+    cell_h = bounds.height / rows
+    positions: typing.List[Point] = []
+    for index in range(count):
+        row, col = divmod(index, cols)
+        cx = bounds.x_min + (col + 0.5) * cell_w
+        cy = bounds.y_min + (row + 0.5) * cell_h
+        if rng is not None:
+            cx += rng.uniform(-jitter_fraction, jitter_fraction) * cell_w
+            cy += rng.uniform(-jitter_fraction, jitter_fraction) * cell_h
+        positions.append(bounds.clamp(Point(cx, cy)))
+    return positions
+
+
+def is_connected(
+    positions: typing.Sequence[Point], radio_range: float
+) -> bool:
+    """True if the unit-disk graph over *positions* is connected.
+
+    Union-find over a spatial bucketing; O(n · neighbours) in practice.
+    An empty or single-node layout counts as connected.
+    """
+    n = len(positions)
+    if n <= 1:
+        return True
+
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    # Bucket by radio_range-sized cells so we compare only nearby pairs.
+    cell = radio_range
+    buckets: typing.Dict[typing.Tuple[int, int], typing.List[int]] = {}
+    for i, p in enumerate(positions):
+        buckets.setdefault(
+            (math.floor(p.x / cell), math.floor(p.y / cell)), []
+        ).append(i)
+
+    range_sq = radio_range * radio_range
+    for (cx, cy), members in buckets.items():
+        neighbourhood: typing.List[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighbourhood.extend(buckets.get((cx + dx, cy + dy), ()))
+        for i in members:
+            pi = positions[i]
+            for j in neighbourhood:
+                if j <= i:
+                    continue
+                if pi.squared_distance_to(positions[j]) <= range_sq:
+                    union(i, j)
+
+    root = find(0)
+    return all(find(i) == root for i in range(1, n))
+
+
+def connected_uniform_positions(
+    count: int,
+    bounds: Rect,
+    radio_range: float,
+    rng: random.Random,
+    max_attempts: int = 50,
+) -> typing.List[Point]:
+    """Uniform placement, resampled until the unit-disk graph connects.
+
+    Raises
+    ------
+    RuntimeError
+        If no connected layout is found within *max_attempts* draws —
+        a sign the requested density is far below the connectivity
+        threshold, not a transient failure.
+    """
+    for _ in range(max_attempts):
+        positions = uniform_random_positions(count, bounds, rng)
+        if is_connected(positions, radio_range):
+            return positions
+    raise RuntimeError(
+        f"no connected placement of {count} nodes in {bounds!r} with "
+        f"range {radio_range} after {max_attempts} attempts"
+    )

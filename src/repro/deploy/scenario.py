@@ -1,0 +1,270 @@
+"""Scenario configuration: the paper's parameter space as a value type.
+
+§4.1 of the paper fixes the evaluation parameters; :func:`paper_scenario`
+reproduces them exactly.  The field scales with the robot count so that
+the *average area per robot* stays 200 m × 200 m and the density stays 50
+sensors per robot: with ``k²`` robots the field is ``(200·k)²`` with
+``50·k²`` sensors (e.g. 16 robots → 800 m × 800 m, 800 sensors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.geometry.polygon import Rect
+
+__all__ = [
+    "Algorithm",
+    "DetectionMode",
+    "DispatchPolicy",
+    "PlacementStyle",
+    "PartitionStyle",
+    "ScenarioConfig",
+    "paper_scenario",
+    "PAPER_ROBOT_COUNTS",
+]
+
+#: Robot counts evaluated in the paper's figures (§4.3.1).
+PAPER_ROBOT_COUNTS = (4, 9, 16)
+
+
+class Algorithm:
+    """The three coordination algorithms of paper §3."""
+
+    CENTRALIZED = "centralized"
+    FIXED = "fixed"
+    DYNAMIC = "dynamic"
+
+    ALL = (CENTRALIZED, FIXED, DYNAMIC)
+
+
+class DetectionMode:
+    """How guardian failure detection is simulated.
+
+    ``BEACON`` runs the full packet-level beacon protocol (every sensor
+    broadcasts every 10 s; guardians time out after three silent
+    periods).  ``EVENT`` schedules the detection directly at
+    death + U(3, 4) beacon periods — the same latency distribution
+    without simulating millions of beacon frames.  The paper's compared
+    metrics exclude beacon overhead ("we focus on the overhead from
+    failure report and location update", §4.3.2), so benchmarks default
+    to ``EVENT``; equivalence of the two modes is asserted by tests.
+    """
+
+    BEACON = "beacon"
+    EVENT = "event"
+
+    ALL = (BEACON, EVENT)
+
+
+class PlacementStyle:
+    """Sensor placement: the paper's uniform draw, or a jittered grid."""
+
+    UNIFORM = "uniform"
+    GRID = "grid"
+
+    ALL = (UNIFORM, GRID)
+
+
+class PartitionStyle:
+    """Fixed-algorithm subarea shapes (paper §4.3.1 evaluates square)."""
+
+    SQUARE = "square"
+    STAGGERED = "staggered"
+
+    ALL = (SQUARE, STAGGERED)
+
+
+class DispatchPolicy:
+    """How the central manager picks the maintainer for a failure.
+
+    ``CLOSEST`` is the paper's rule ("the manager selects the robot
+    whose current location is the closest to the failure").  The other
+    two are extensions exploring the conclusion's remark that "the
+    optimal choice ... depends on specific scenarios and objectives":
+    under load, dispatching to an already-busy robot queues the failure
+    behind jobs that will drag the robot elsewhere.
+
+    * ``CLOSEST_IDLE`` — prefer the closest *idle* robot (no outstanding
+      jobs); fall back to the paper's rule when all are busy.
+    * ``LEAST_LOADED`` — minimise outstanding jobs, break ties by
+      distance.
+
+    Both extensions require robots to report job completion back to the
+    manager (one extra routed message per repair, accounted under the
+    ``completion`` category).  Centralized algorithm only.
+    """
+
+    CLOSEST = "closest"
+    CLOSEST_IDLE = "closest_idle"
+    LEAST_LOADED = "least_loaded"
+
+    ALL = (CLOSEST, CLOSEST_IDLE, LEAST_LOADED)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """All knobs of one simulated deployment.
+
+    The defaults are the paper's (§4.1).  Everything the simulation does
+    is a pure function of this config plus the seed.
+    """
+
+    algorithm: str = Algorithm.CENTRALIZED
+    robot_count: int = 4
+    seed: int = 0
+
+    # --- scaling rules (paper §4.1 items 1, 3) ------------------------
+    area_per_robot_m2: float = 200.0 * 200.0
+    sensors_per_robot: int = 50
+
+    # --- kinematics & lifetimes (items 2, 6, 7) -----------------------
+    robot_speed_mps: float = 1.0
+    mean_lifetime_s: float = 16_000.0
+    sim_time_s: float = 64_000.0
+
+    # --- protocol timers (item 8, §4.2) -------------------------------
+    beacon_period_s: float = 10.0
+    missed_beacons_for_failure: int = 3
+    update_threshold_m: float = 20.0
+
+    # --- modelling switches --------------------------------------------
+    detection_mode: str = DetectionMode.EVENT
+    placement: str = PlacementStyle.UNIFORM
+    partition: str = PartitionStyle.SQUARE
+    loss_rate: float = 0.0
+    #: Dynamic algorithm: a sensor relays a robot's location update when
+    #: its distance to the announced position is within this margin of
+    #: its distance to the closest *other* robot it knows — i.e. the
+    #: moving robot's Voronoi cell plus a boundary band of sensors that
+    #: may need to switch (paper §3.3).  Wider bands mean fresher
+    #: knowledge but more transmissions.
+    dynamic_relay_margin_m: float = 15.0
+    #: Use a connected-dominating-set relay subset for location-update
+    #: floods (the paper's "more efficient broadcast schemes" future work).
+    efficient_broadcast: bool = False
+    #: Spare sensors a robot can carry before returning to the depot at
+    #: the field centre; None models the paper's implicit infinite supply.
+    robot_capacity: typing.Optional[int] = None
+    #: Whether replacement sensors draw a fresh Exp(T) lifetime and fail
+    #: again (a stationary renewal process), or only the originally
+    #: deployed sensors fail (a declining failure rate, which is how a
+    #: fixed-population GloMoSim node set naturally behaves).
+    regenerate_lifetimes: bool = True
+    #: Central-manager dispatch rule; see :class:`DispatchPolicy`.
+    #: Ignored by the distributed algorithms.
+    dispatch_policy: str = DispatchPolicy.CLOSEST
+    #: When set, every sensor sends a periodic reading to the sink (the
+    #: manager, or its myrobot in the distributed algorithms) every this
+    #: many seconds — the paper's motivating data-collection workload.
+    #: None (default) disables background traffic.
+    data_traffic_period_s: typing.Optional[float] = None
+    #: Extension: after this many idle seconds a robot drives back to
+    #: its home post (subarea centre in the fixed algorithm, deployment
+    #: position otherwise), abandoning the return if new work arrives.
+    #: Shorter legs at the cost of extra repositioning odometry.  None
+    #: (default) keeps the paper's behaviour — robots park wherever
+    #: their last repair ended.
+    return_to_post_after_s: typing.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in Algorithm.ALL:
+            raise ValueError(f"unknown algorithm: {self.algorithm!r}")
+        if self.detection_mode not in DetectionMode.ALL:
+            raise ValueError(
+                f"unknown detection mode: {self.detection_mode!r}"
+            )
+        if self.placement not in PlacementStyle.ALL:
+            raise ValueError(f"unknown placement: {self.placement!r}")
+        if self.partition not in PartitionStyle.ALL:
+            raise ValueError(f"unknown partition: {self.partition!r}")
+        if self.robot_count < 1:
+            raise ValueError(f"need at least one robot: {self.robot_count}")
+        if self.sim_time_s <= 0:
+            raise ValueError(f"non-positive sim time: {self.sim_time_s}")
+        if self.robot_capacity is not None and self.robot_capacity < 1:
+            raise ValueError(
+                f"robot capacity must be positive: {self.robot_capacity}"
+            )
+        if self.dispatch_policy not in DispatchPolicy.ALL:
+            raise ValueError(
+                f"unknown dispatch policy: {self.dispatch_policy!r}"
+            )
+        if (
+            self.data_traffic_period_s is not None
+            and self.data_traffic_period_s <= 0
+        ):
+            raise ValueError(
+                "data traffic period must be positive: "
+                f"{self.data_traffic_period_s}"
+            )
+        if (
+            self.return_to_post_after_s is not None
+            and self.return_to_post_after_s < 0
+        ):
+            raise ValueError(
+                "return-to-post delay must be non-negative: "
+                f"{self.return_to_post_after_s}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def area_side_m(self) -> float:
+        """Side of the square field: ``sqrt(robots · area_per_robot)``."""
+        return math.sqrt(self.robot_count * self.area_per_robot_m2)
+
+    @property
+    def bounds(self) -> Rect:
+        """The deployment field as a rectangle anchored at the origin."""
+        return Rect.square(self.area_side_m)
+
+    @property
+    def sensor_count(self) -> int:
+        """Total sensors: density × robots (800 at 16 robots)."""
+        return self.sensors_per_robot * self.robot_count
+
+    @property
+    def detection_delay_bounds(self) -> typing.Tuple[float, float]:
+        """(min, max) failure-detection latency implied by beaconing.
+
+        A guardian declares failure after ``missed_beacons_for_failure``
+        silent periods; depending on the phase of the guardee's last
+        beacon the latency falls in ``[k·p, (k+1)·p)``.
+        """
+        k = self.missed_beacons_for_failure
+        p = self.beacon_period_s
+        return (k * p, (k + 1) * p)
+
+    def replace(self, **changes: typing.Any) -> "ScenarioConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm} | {self.robot_count} robots | "
+            f"{self.sensor_count} sensors | "
+            f"{self.area_side_m:.0f}m x {self.area_side_m:.0f}m | "
+            f"T={self.mean_lifetime_s:.0f}s | "
+            f"sim={self.sim_time_s:.0f}s | seed={self.seed}"
+        )
+
+
+def paper_scenario(
+    algorithm: str,
+    robot_count: int,
+    seed: int = 0,
+    **overrides: typing.Any,
+) -> ScenarioConfig:
+    """The paper's §4.1 configuration for *algorithm* and *robot_count*.
+
+    Extra keyword arguments override individual fields (e.g.
+    ``sim_time_s=8_000`` for quick tests).
+    """
+    return ScenarioConfig(
+        algorithm=algorithm, robot_count=robot_count, seed=seed
+    ).replace(**overrides)

@@ -1,0 +1,42 @@
+"""Experiment harness: sweeps, figures, ablations, text rendering."""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    dispatch_policy_ablation,
+    efficient_broadcast_ablation,
+    partition_ablation,
+    update_threshold_ablation,
+)
+from repro.experiments.figures import (
+    ClaimCheck,
+    FigureResult,
+    figure2_motion_overhead,
+    figure3_hops,
+    figure4_update_transmissions,
+)
+from repro.experiments.render import render_series_table, render_table
+from repro.experiments.runner import (
+    SweepPoint,
+    SweepResult,
+    run_config,
+    sweep,
+)
+
+__all__ = [
+    "AblationResult",
+    "ClaimCheck",
+    "FigureResult",
+    "SweepPoint",
+    "SweepResult",
+    "dispatch_policy_ablation",
+    "efficient_broadcast_ablation",
+    "partition_ablation",
+    "update_threshold_ablation",
+    "figure2_motion_overhead",
+    "figure3_hops",
+    "figure4_update_transmissions",
+    "render_series_table",
+    "render_table",
+    "run_config",
+    "sweep",
+]

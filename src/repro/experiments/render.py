@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints each figure as the table of series the paper plots —
+one row per robot count, one column per algorithm/metric — so a terminal
+diff against the paper's reported numbers is direct.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+__all__ = ["render_table", "render_series_table"]
+
+
+def render_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[typing.Any]],
+    title: typing.Optional[str] = None,
+) -> str:
+    """A boxed monospace table."""
+    formatted_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(
+            len(str(headers[i])),
+            *(len(row[i]) for row in formatted_rows),
+        )
+        if formatted_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(cells: typing.Sequence[str]) -> str:
+        return (
+            "| "
+            + " | ".join(
+                cell.rjust(widths[i]) for i, cell in enumerate(cells)
+            )
+            + " |"
+        )
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: typing.List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line([str(h) for h in headers]))
+    out.append(separator)
+    for row in formatted_rows:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def render_series_table(
+    x_label: str,
+    x_values: typing.Sequence[typing.Any],
+    series: typing.Mapping[str, typing.Sequence[float]],
+    title: typing.Optional[str] = None,
+) -> str:
+    """A table with one row per x value and one column per series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def _format_cell(cell: typing.Any) -> str:
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "-"
+        return f"{cell:.2f}"
+    return str(cell)

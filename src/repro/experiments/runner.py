@@ -1,0 +1,157 @@
+"""Experiment runner: replicated sweeps over scenario configurations.
+
+The paper's figures plot one metric against the number of maintenance
+robots (4, 9, 16) for each algorithm.  :func:`sweep` runs the cross
+product of algorithms × robot counts × seeds and returns every
+:class:`~repro.metrics.RunReport`, optionally in parallel across
+processes (each run is an independent, deterministic simulation).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import typing
+
+from repro.core.runtime import ScenarioRuntime
+from repro.deploy.scenario import ScenarioConfig, paper_scenario
+from repro.metrics.aggregate import SummaryStats, summarize
+from repro.metrics.collector import RunReport
+
+__all__ = ["SweepPoint", "SweepResult", "run_config", "sweep"]
+
+
+def run_config(config: ScenarioConfig) -> RunReport:
+    """Run one scenario to completion and return its report.
+
+    Module-level so it can cross a process boundary.
+    """
+    return ScenarioRuntime(config).run()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One (algorithm, robot count) grid point with its replicates."""
+
+    algorithm: str
+    robot_count: int
+    reports: typing.Tuple[RunReport, ...]
+
+    def stat(self, metric: str) -> SummaryStats:
+        """Summary of attribute *metric* over the replicates."""
+        return summarize(
+            [getattr(report, metric) for report in self.reports]
+        )
+
+    def mean(self, metric: str) -> float:
+        """Mean of attribute *metric* over the replicates."""
+        return self.stat(metric).mean
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SweepResult:
+    """All grid points of one sweep."""
+
+    points: typing.Tuple[SweepPoint, ...]
+
+    def point(self, algorithm: str, robot_count: int) -> SweepPoint:
+        """The grid point for (*algorithm*, *robot_count*)."""
+        for point in self.points:
+            if (
+                point.algorithm == algorithm
+                and point.robot_count == robot_count
+            ):
+                return point
+        raise KeyError((algorithm, robot_count))
+
+    def series(
+        self,
+        algorithm: str,
+        metric: str,
+        robot_counts: typing.Sequence[int],
+    ) -> typing.List[float]:
+        """Metric means for *algorithm* across *robot_counts*, in order."""
+        return [
+            self.point(algorithm, count).mean(metric)
+            for count in robot_counts
+        ]
+
+    def algorithms(self) -> typing.List[str]:
+        """Distinct algorithms present, in first-seen order."""
+        seen: typing.List[str] = []
+        for point in self.points:
+            if point.algorithm not in seen:
+                seen.append(point.algorithm)
+        return seen
+
+    def robot_counts(self) -> typing.List[int]:
+        """Distinct robot counts present, ascending."""
+        return sorted({point.robot_count for point in self.points})
+
+
+def sweep(
+    algorithms: typing.Sequence[str],
+    robot_counts: typing.Sequence[int],
+    seeds: typing.Sequence[int] = (1,),
+    parallel: bool = True,
+    progress: typing.Optional[typing.Callable[[str], None]] = None,
+    **overrides: typing.Any,
+) -> SweepResult:
+    """Run every (algorithm, robot_count, seed) combination.
+
+    Parameters
+    ----------
+    algorithms, robot_counts, seeds:
+        The grid.  Each cell uses the paper's §4.1 parameters with
+        *overrides* applied (e.g. ``sim_time_s=16_000`` to shorten runs).
+    parallel:
+        Fan runs out over a process pool (runs are independent).
+    progress:
+        Optional callback invoked with a human-readable line as each run
+        finishes.
+    """
+    configs: typing.List[ScenarioConfig] = []
+    for algorithm in algorithms:
+        for robot_count in robot_counts:
+            for seed in seeds:
+                configs.append(
+                    paper_scenario(
+                        algorithm, robot_count, seed=seed, **overrides
+                    )
+                )
+
+    reports: typing.Dict[ScenarioConfig, RunReport] = {}
+    if parallel and len(configs) > 1:
+        with concurrent.futures.ProcessPoolExecutor() as pool:
+            futures = {
+                pool.submit(run_config, config): config
+                for config in configs
+            }
+            for future in concurrent.futures.as_completed(futures):
+                config = futures[future]
+                reports[config] = future.result()
+                if progress is not None:
+                    progress(f"done: {config.describe()}")
+    else:
+        for config in configs:
+            reports[config] = run_config(config)
+            if progress is not None:
+                progress(f"done: {config.describe()}")
+
+    points: typing.List[SweepPoint] = []
+    for algorithm in algorithms:
+        for robot_count in robot_counts:
+            cell = tuple(
+                reports[config]
+                for config in configs
+                if config.algorithm == algorithm
+                and config.robot_count == robot_count
+            )
+            points.append(
+                SweepPoint(
+                    algorithm=algorithm,
+                    robot_count=robot_count,
+                    reports=cell,
+                )
+            )
+    return SweepResult(points=tuple(points))

@@ -1,0 +1,38 @@
+"""Planar geometry: points, convex polygons, Voronoi diagrams, partitions.
+
+Everything the coordination algorithms need to reason about the 2-D
+deployment field, implemented from scratch (no scipy dependency in the
+library itself; scipy is only used by tests as an oracle).
+"""
+
+from repro.geometry.partition import (
+    Partition,
+    SquarePartition,
+    StaggeredPartition,
+)
+from repro.geometry.point import Point, centroid_of, midpoint
+from repro.geometry.polygon import ConvexPolygon, HalfPlane, Rect
+from repro.geometry.voronoi import (
+    VoronoiDiagram,
+    closest_site,
+    closest_site_index,
+    voronoi_cell,
+    voronoi_cells,
+)
+
+__all__ = [
+    "ConvexPolygon",
+    "HalfPlane",
+    "Partition",
+    "Point",
+    "Rect",
+    "SquarePartition",
+    "StaggeredPartition",
+    "VoronoiDiagram",
+    "centroid_of",
+    "closest_site",
+    "closest_site_index",
+    "midpoint",
+    "voronoi_cell",
+    "voronoi_cells",
+]

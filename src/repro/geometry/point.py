@@ -1,0 +1,144 @@
+"""2-D points and vectors.
+
+:class:`Point` is an immutable value type used throughout the simulator
+for node positions, robot waypoints and Voronoi sites.  All geometry in
+the paper is planar, so no third coordinate is modelled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+__all__ = ["Point", "midpoint", "centroid_of"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point (or free vector) in the plane, in metres."""
+
+    x: float
+    y: float
+
+    # ------------------------------------------------------------------
+    # Arithmetic (points double as vectors where convenient)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared distance — cheaper for nearest-neighbour comparisons."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def norm(self) -> float:
+        """Length of this point viewed as a vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with *other* (both viewed as vectors)."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def normalized(self) -> "Point":
+        """Unit vector in this direction.
+
+        Raises
+        ------
+        ValueError
+            For the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / length, self.y / length)
+
+    def angle_to(self, other: "Point") -> float:
+        """Angle of the vector from self to other, in radians (-pi, pi]."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    # ------------------------------------------------------------------
+    # Interpolation & helpers
+    # ------------------------------------------------------------------
+    def towards(self, target: "Point", distance: float) -> "Point":
+        """The point *distance* metres from self along the line to target.
+
+        If *distance* exceeds the separation, returns *target* (movement
+        never overshoots its goal).
+        """
+        separation = self.distance_to(target)
+        if separation <= distance or separation == 0.0:
+            return target
+        fraction = distance / separation
+        return Point(
+            self.x + (target.x - self.x) * fraction,
+            self.y + (target.y - self.y) * fraction,
+        )
+
+    def lerp(self, target: "Point", fraction: float) -> "Point":
+        """Linear interpolation: ``self`` at 0.0, ``target`` at 1.0."""
+        return Point(
+            self.x + (target.x - self.x) * fraction,
+            self.y + (target.y - self.y) * fraction,
+        )
+
+    def is_close(self, other: "Point", tolerance: float = 1e-9) -> bool:
+        """True if within *tolerance* metres of *other*."""
+        return self.distance_to(other) <= tolerance
+
+    def as_tuple(self) -> typing.Tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> typing.Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __repr__(self) -> str:
+        return f"Point({self.x:.6g}, {self.y:.6g})"
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment *ab*."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid_of(points: typing.Sequence[Point]) -> Point:
+    """Arithmetic mean of *points*.
+
+    Raises
+    ------
+    ValueError
+        For an empty sequence.
+    """
+    if not points:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    return Point(sx / len(points), sy / len(points))

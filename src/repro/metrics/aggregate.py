@@ -1,0 +1,76 @@
+"""Aggregation of metrics across replicated runs.
+
+The figures average each point over several seeds.  This module provides
+the summary statistics (mean, sample standard deviation, normal-theory
+confidence half-width) without depending on scipy — the library stays
+dependency-free; tests cross-check against numpy where available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+__all__ = ["SummaryStats", "summarize", "mean_of", "aggregate_reports"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SummaryStats:
+    """Mean / spread summary of one metric over replicates."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    #: Half-width of the ~95 % normal-approximation confidence interval.
+    ci95_halfwidth: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.ci95_halfwidth:.2f} (n={self.count})"
+
+
+def summarize(values: typing.Sequence[float]) -> SummaryStats:
+    """Summary statistics of *values*, ignoring NaNs.
+
+    Raises
+    ------
+    ValueError
+        If no finite values remain.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        raise ValueError("no finite values to summarize")
+    n = len(finite)
+    mean = sum(finite) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in finite) / (n - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    halfwidth = 1.96 * stdev / math.sqrt(n) if n > 1 else 0.0
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        stdev=stdev,
+        minimum=min(finite),
+        maximum=max(finite),
+        ci95_halfwidth=halfwidth,
+    )
+
+
+def mean_of(values: typing.Sequence[float]) -> float:
+    """Mean ignoring NaNs; NaN if nothing finite remains."""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return float("nan")
+    return sum(finite) / len(finite)
+
+
+def aggregate_reports(
+    reports: typing.Sequence[typing.Any],
+    metric: str,
+) -> SummaryStats:
+    """Summarize attribute *metric* across :class:`RunReport` objects."""
+    return summarize([getattr(report, metric) for report in reports])

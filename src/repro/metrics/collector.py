@@ -1,0 +1,248 @@
+"""Per-run maintenance metrics.
+
+Tracks every failure through its pipeline — death → detection → report →
+dispatch → travel → replacement — and derives the paper's three headline
+metrics:
+
+* **motion overhead** — average robot travelling distance per handled
+  failure (Figure 2);
+* **report / request hops** — average geographic-routing hops of failure
+  reports and replacement requests (Figure 3);
+* **location-update transmissions** — average wireless transmissions
+  spent on robot location updates per failure (Figure 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.geometry.point import Point
+from repro.net.channel import Channel
+from repro.net.frames import Category
+from repro.routing.stats import RoutingStats
+
+__all__ = ["FailureRecord", "MetricsCollector", "RunReport"]
+
+
+@dataclasses.dataclass(slots=True)
+class FailureRecord:
+    """The lifecycle of one sensor failure."""
+
+    node_id: str
+    position: Point
+    death_time: float
+    detect_time: typing.Optional[float] = None
+    guardian_id: typing.Optional[str] = None
+    report_time: typing.Optional[float] = None
+    report_hops: typing.Optional[int] = None
+    manager_id: typing.Optional[str] = None
+    dispatch_time: typing.Optional[float] = None
+    request_hops: typing.Optional[int] = None
+    robot_id: typing.Optional[str] = None
+    travel_distance: typing.Optional[float] = None
+    replace_time: typing.Optional[float] = None
+    replacement_id: typing.Optional[str] = None
+
+    @property
+    def repaired(self) -> bool:
+        """True once a replacement node is in place."""
+        return self.replace_time is not None
+
+    @property
+    def repair_latency(self) -> typing.Optional[float]:
+        """Seconds from death to replacement (None if unrepaired)."""
+        if self.replace_time is None:
+            return None
+        return self.replace_time - self.death_time
+
+
+class MetricsCollector:
+    """Accumulates :class:`FailureRecord` entries during a run.
+
+    The coordination layer calls the ``record_*`` methods at each stage;
+    :meth:`report` assembles a :class:`RunReport` at the end, combining
+    the failure records with channel and routing statistics.
+    """
+
+    def __init__(self) -> None:
+        self._records: typing.Dict[str, FailureRecord] = {}
+        #: Total distance travelled per robot (includes repositioning
+        #: that is not attributable to a single failure).
+        self.robot_distance: typing.Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_death(
+        self, node_id: str, position: Point, time: float
+    ) -> None:
+        """A sensor died."""
+        self._records[node_id] = FailureRecord(
+            node_id=node_id, position=position, death_time=time
+        )
+
+    def record_detection(
+        self, node_id: str, guardian_id: str, time: float
+    ) -> None:
+        """A guardian declared *node_id* failed."""
+        record = self._records.get(node_id)
+        if record is not None and record.detect_time is None:
+            record.detect_time = time
+            record.guardian_id = guardian_id
+
+    def record_report(
+        self, node_id: str, manager_id: str, time: float, hops: int
+    ) -> None:
+        """A failure report for *node_id* reached a manager."""
+        record = self._records.get(node_id)
+        if record is not None and record.report_time is None:
+            record.report_time = time
+            record.manager_id = manager_id
+            record.report_hops = hops
+
+    def record_dispatch(
+        self, node_id: str, robot_id: str, time: float
+    ) -> None:
+        """A manager chose *robot_id* to handle *node_id*'s failure."""
+        record = self._records.get(node_id)
+        if record is not None and record.dispatch_time is None:
+            record.dispatch_time = time
+            record.robot_id = robot_id
+
+    def record_request_hops(self, node_id: str, hops: int) -> None:
+        """A replacement request reached the maintainer (centralized)."""
+        record = self._records.get(node_id)
+        if record is not None and record.request_hops is None:
+            record.request_hops = hops
+
+    def record_travel(self, robot_id: str, distance: float) -> None:
+        """Robot *robot_id* travelled *distance* metres (any reason)."""
+        self.robot_distance[robot_id] = (
+            self.robot_distance.get(robot_id, 0.0) + distance
+        )
+
+    def record_replacement(
+        self,
+        node_id: str,
+        robot_id: str,
+        time: float,
+        travel_distance: float,
+        replacement_id: str,
+    ) -> None:
+        """Robot *robot_id* replaced *node_id* after travelling
+        *travel_distance* metres for this failure."""
+        record = self._records.get(node_id)
+        if record is not None and record.replace_time is None:
+            record.replace_time = time
+            record.robot_id = robot_id
+            record.travel_distance = travel_distance
+            record.replacement_id = replacement_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def records(self) -> typing.List[FailureRecord]:
+        """All failure records in death-time order."""
+        return sorted(self._records.values(), key=lambda r: r.death_time)
+
+    def record_of(self, node_id: str) -> typing.Optional[FailureRecord]:
+        """The record for one failed node, if any."""
+        return self._records.get(node_id)
+
+    @property
+    def failures(self) -> int:
+        """Total deaths recorded."""
+        return len(self._records)
+
+    @property
+    def repaired(self) -> int:
+        """Failures with a completed replacement."""
+        return sum(1 for r in self._records.values() if r.repaired)
+
+    def report(
+        self,
+        channel: Channel,
+        routing: RoutingStats,
+        config_describe: str = "",
+    ) -> "RunReport":
+        """Summarise the run into a :class:`RunReport`."""
+        records = self.records()
+        repaired = [r for r in records if r.repaired]
+        travel = [
+            r.travel_distance
+            for r in repaired
+            if r.travel_distance is not None
+        ]
+        latencies = [
+            r.repair_latency
+            for r in repaired
+            if r.repair_latency is not None
+        ]
+        update_tx = channel.stats.transmissions.get(
+            Category.LOCATION_UPDATE, 0
+        )
+        denominator = max(len(repaired), 1)
+        return RunReport(
+            description=config_describe,
+            failures=len(records),
+            detected=sum(1 for r in records if r.detect_time is not None),
+            reported=sum(1 for r in records if r.report_time is not None),
+            repaired=len(repaired),
+            mean_travel_distance=_mean(travel),
+            mean_repair_latency=_mean(latencies),
+            mean_report_hops=routing.mean_hops(Category.FAILURE_REPORT),
+            mean_request_hops=routing.mean_hops(Category.REPAIR_REQUEST),
+            update_transmissions_per_failure=update_tx / denominator,
+            report_delivery_ratio=routing.delivery_ratio(
+                Category.FAILURE_REPORT
+            ),
+            total_robot_distance=sum(self.robot_distance.values()),
+            transmissions_by_category=dict(channel.stats.transmissions),
+            routing_snapshot=routing.snapshot(),
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RunReport:
+    """Summary of one simulation run — the unit the figures average."""
+
+    description: str
+    failures: int
+    detected: int
+    reported: int
+    repaired: int
+    #: Figure 2 metric: metres travelled per repaired failure.
+    mean_travel_distance: float
+    mean_repair_latency: float
+    #: Figure 3 metrics.
+    mean_report_hops: float
+    mean_request_hops: float
+    #: Figure 4 metric.
+    update_transmissions_per_failure: float
+    report_delivery_ratio: float
+    total_robot_distance: float
+    transmissions_by_category: typing.Dict[str, int]
+    routing_snapshot: typing.Dict[str, typing.Any]
+
+    def summary_lines(self) -> typing.List[str]:
+        """Human-readable multi-line summary."""
+        return [
+            f"scenario: {self.description}",
+            f"failures: {self.failures} "
+            f"(detected {self.detected}, reported {self.reported}, "
+            f"repaired {self.repaired})",
+            f"motion overhead: {self.mean_travel_distance:.1f} m/failure",
+            f"repair latency: {self.mean_repair_latency:.1f} s",
+            f"report hops: {self.mean_report_hops:.2f}; "
+            f"request hops: {self.mean_request_hops:.2f}",
+            "location-update transmissions/failure: "
+            f"{self.update_transmissions_per_failure:.1f}",
+            f"report delivery ratio: {self.report_delivery_ratio:.3f}",
+        ]
+
+
+def _mean(values: typing.Sequence[float]) -> float:
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)

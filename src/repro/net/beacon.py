@@ -1,0 +1,98 @@
+"""Periodic HELLO beaconing and node announcements.
+
+Sensors beacon every 10 s (paper §4.1 item 8); beacons serve two
+purposes: they keep neighbour tables fresh for geographic forwarding, and
+missing three consecutive beacons is the failure-detection criterion for
+the guardian/guardee protocol (§3.1).
+
+A :class:`NodeAnnouncement` is the common payload of beacons, the
+initialization location broadcasts, and robot location updates — any
+frame that tells receivers "node X of kind K is (or will be) at P".
+Receiving nodes update their neighbour tables from announcements
+automatically (see :meth:`repro.net.node.NetworkNode.handle_frame`
+integration below).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.frames import Category, NodeAnnouncement
+from repro.net.node import NetworkNode
+from repro.sim.engine import Simulator
+
+__all__ = ["NodeAnnouncement", "BeaconService", "DEFAULT_BEACON_PERIOD_S"]
+
+#: The paper's beaconing period (§4.1 item 8).
+DEFAULT_BEACON_PERIOD_S = 10.0
+
+
+class BeaconService:
+    """Drives periodic HELLO broadcasts for one node.
+
+    The first beacon goes out after a random phase within one period
+    (drawn from the node's ``beacon.<id>`` stream) so the network's
+    beacons de-synchronise, then strictly every ``period`` seconds until
+    the node dies.
+
+    Parameters
+    ----------
+    node:
+        The beaconing node.
+    period:
+        Beacon interval in seconds.
+    started:
+        When False, :meth:`start` must be called explicitly (the
+        scenario builder starts beacons only after initialization).
+    """
+
+    def __init__(
+        self,
+        node: NetworkNode,
+        period: float = DEFAULT_BEACON_PERIOD_S,
+        started: bool = False,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"non-positive beacon period: {period}")
+        self.node = node
+        self.period = period
+        self.beacons_sent = 0
+        self._running = False
+        self._rng = node.streams.stream(f"beacon.{node.node_id}")
+        if started:
+            self.start()
+
+    def start(self) -> None:
+        """Begin beaconing (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.node.sim.process(
+            self._beacon_loop(), name=f"beacon:{self.node.node_id}"
+        )
+
+    def stop(self) -> None:
+        """Stop beaconing after the current period elapses."""
+        self._running = False
+
+    def _beacon_loop(self) -> typing.Generator:
+        sim: Simulator = self.node.sim
+        yield sim.timeout(self._rng.uniform(0.0, self.period))
+        while self._running and self.node.alive:
+            self.node.send_broadcast(
+                Category.BEACON,
+                NodeAnnouncement(
+                    node_id=self.node.node_id,
+                    position=self.node.position,
+                    kind=self.node.kind,
+                ),
+            )
+            self.beacons_sent += 1
+            yield sim.timeout(self.period)
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (
+            f"<BeaconService {self.node.node_id} period={self.period} "
+            f"{state} sent={self.beacons_sent}>"
+        )

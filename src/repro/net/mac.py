@@ -1,0 +1,210 @@
+"""Per-node medium access control.
+
+Responsibilities:
+
+* **Serialisation** — a node transmits one frame at a time; frames queued
+  while the radio is busy go out FIFO when it frees up.
+* **Jitter** — broadcast relays are delayed by a small uniform random
+  jitter so that flood relays de-synchronise, as a CSMA backoff would do
+  in the paper's 802.11 layer.  The jitter stream is seeded per node, so
+  runs are reproducible.
+* **ARQ (lossy mode only)** — when the radio has a non-zero loss rate,
+  unicast data frames are acknowledged; the sender retransmits up to
+  ``max_retries`` times and reports an unreachable next hop to the node
+  on final failure.  With the paper's lossless default no acks are
+  generated, so transmission counts match GloMoSim's.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.net.frames import ACK_SIZE_BITS, BROADCAST, Frame, NodeId, Packet
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.channel import Channel
+    from repro.net.node import NetworkNode
+
+__all__ = ["MacConfig", "Mac"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MacConfig:
+    """Tunables for the MAC layer.
+
+    Parameters
+    ----------
+    broadcast_jitter:
+        Maximum uniform delay before relaying a broadcast frame.
+    unicast_jitter:
+        Maximum uniform delay before a unicast transmission (models
+        contention backoff; small compared to any protocol timer).
+    ack_timeout:
+        Seconds to wait for a link-layer ack before retransmitting
+        (lossy mode only).
+    max_retries:
+        Retransmission budget per unicast frame (lossy mode only).
+    """
+
+    broadcast_jitter: float = 0.02
+    unicast_jitter: float = 0.002
+    ack_timeout: float = 0.05
+    max_retries: int = 5
+
+
+class Mac:
+    """MAC instance owned by a single :class:`~repro.net.node.NetworkNode`."""
+
+    def __init__(
+        self,
+        node: "NetworkNode",
+        channel: "Channel",
+        sim: Simulator,
+        jitter_rng,
+        config: typing.Optional[MacConfig] = None,
+    ) -> None:
+        self.node = node
+        self.channel = channel
+        self.sim = sim
+        self.config = config or MacConfig()
+        self._jitter_rng = jitter_rng
+        self._queue: typing.Deque[Frame] = collections.deque()
+        #: Simulation time at which the radio finishes its current frame.
+        self._next_free = 0.0
+        #: True while a transmission wake-up is scheduled (jitter phase).
+        self._scheduled = False
+        #: frame_id -> (frame, retries_left, timer_event) awaiting ack.
+        self._pending_acks: typing.Dict[
+            int, typing.Tuple[Frame, int, Event]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> None:
+        """Queue *frame* for transmission (FIFO per node)."""
+        self._queue.append(frame)
+        self._maybe_schedule()
+
+    def _maybe_schedule(self) -> None:
+        if self._scheduled or not self._queue:
+            return
+        self._scheduled = True
+        frame = self._queue[0]
+        jitter_max = (
+            self.config.broadcast_jitter
+            if frame.is_broadcast
+            else self.config.unicast_jitter
+        )
+        wait_for_radio = max(0.0, self._next_free - self.sim.now)
+        delay = wait_for_radio + self._jitter_rng.uniform(0.0, jitter_max)
+        self.sim.call_in(delay, self._transmit_next)
+
+    def _transmit_next(self) -> None:
+        self._scheduled = False
+        if not self.node.alive:
+            self._queue.clear()
+            return
+        if not self._queue:
+            return
+        frame = self._queue.popleft()
+        self.channel.transmit(self.node, frame)
+        if self._arq_applies(frame):
+            self._arm_ack_timer(frame, self.config.max_retries)
+        self._next_free = self.sim.now + self.node.radio.transmission_delay(
+            frame.size_bits
+        )
+        self._maybe_schedule()
+
+    def _arq_applies(self, frame: Frame) -> bool:
+        return (
+            self.node.radio.loss_rate > 0.0
+            and not frame.is_broadcast
+            and not frame.is_ack
+        )
+
+    # ------------------------------------------------------------------
+    # ARQ
+    # ------------------------------------------------------------------
+    def _arm_ack_timer(self, frame: Frame, retries_left: int) -> None:
+        timer = self.sim.call_in(
+            self.config.ack_timeout,
+            lambda: self._on_ack_timeout(frame.frame_id),
+        )
+        self._pending_acks[frame.frame_id] = (frame, retries_left, timer)
+
+    def _on_ack_timeout(self, frame_id: int) -> None:
+        entry = self._pending_acks.pop(frame_id, None)
+        if entry is None or not self.node.alive:
+            return
+        frame, retries_left, _timer = entry
+        if retries_left <= 0:
+            self.node.on_link_failure(frame)
+            return
+        self.channel.stats.retransmissions[frame.category] += 1
+        self.channel.transmit(self.node, frame)
+        self._arm_ack_timer(frame, retries_left - 1)
+
+    def handle_incoming(
+        self, frame: Frame, sender_id: NodeId
+    ) -> typing.Optional[Frame]:
+        """Process *frame* at the link layer.
+
+        Consumes acks (returns None); acknowledges unicast data frames in
+        lossy mode; returns the frame for network-layer processing
+        otherwise.
+        """
+        if frame.is_ack:
+            entry = self._pending_acks.pop(frame.ack_for or -1, None)
+            if entry is not None:
+                self.sim.cancel(entry[2])
+            return None
+        if (
+            self.node.radio.loss_rate > 0.0
+            and not frame.is_broadcast
+            and frame.link_destination == self.node.node_id
+        ):
+            ack = Frame(
+                sender=self.node.node_id,
+                link_destination=sender_id,
+                packet=None,
+                size_bits=ACK_SIZE_BITS,
+                is_ack=True,
+                ack_for=frame.frame_id,
+            )
+            self.send(ack)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    def send_packet(self, packet: Packet, next_hop: NodeId) -> None:
+        """Wrap *packet* in a unicast frame to *next_hop* and queue it."""
+        self.send(
+            Frame(
+                sender=self.node.node_id,
+                link_destination=next_hop,
+                packet=packet,
+                size_bits=packet.size_bits,
+            )
+        )
+
+    def broadcast_packet(self, packet: Packet) -> None:
+        """Wrap *packet* in a one-hop broadcast frame and queue it."""
+        self.send(
+            Frame(
+                sender=self.node.node_id,
+                link_destination=BROADCAST,
+                packet=packet,
+                size_bits=packet.size_bits,
+            )
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting behind the current transmission."""
+        return len(self._queue)

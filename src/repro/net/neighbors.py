@@ -1,0 +1,148 @@
+"""Per-node neighbour tables.
+
+Geographic forwarding is purely local: each node keeps a table of one-hop
+neighbours (id, position, kind, freshness) learned from initialization
+broadcasts and periodic beacons, and forwards packets to the neighbour
+geographically closest to the destination (paper §4.2).  Entries expire
+when beacons stop arriving, which is also how guardians detect failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.geometry.point import Point
+from repro.net.frames import NodeId
+
+__all__ = ["NeighborEntry", "NeighborTable"]
+
+
+@dataclasses.dataclass(slots=True)
+class NeighborEntry:
+    """What a node knows about one neighbour."""
+
+    node_id: NodeId
+    position: Point
+    kind: str
+    last_heard: float
+
+    def __repr__(self) -> str:
+        return (
+            f"<Neighbor {self.node_id} ({self.kind}) at {self.position!r} "
+            f"heard={self.last_heard:.1f}>"
+        )
+
+
+class NeighborTable:
+    """A mutable map of one-hop neighbours with freshness tracking."""
+
+    def __init__(self) -> None:
+        self._entries: typing.Dict[NodeId, NeighborEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert(
+        self,
+        node_id: NodeId,
+        position: Point,
+        kind: str,
+        time: float,
+    ) -> NeighborEntry:
+        """Insert or refresh a neighbour record."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            entry = NeighborEntry(node_id, position, kind, time)
+            self._entries[node_id] = entry
+        else:
+            entry.position = position
+            entry.kind = kind
+            entry.last_heard = max(entry.last_heard, time)
+        return entry
+
+    def remove(self, node_id: NodeId) -> bool:
+        """Forget a neighbour; returns True if it was present."""
+        return self._entries.pop(node_id, None) is not None
+
+    def expire_older_than(self, deadline: float) -> typing.List[NodeId]:
+        """Drop entries last heard strictly before *deadline*.
+
+        Returns the removed ids (sorted, for determinism).
+        """
+        stale = sorted(
+            node_id
+            for node_id, entry in self._entries.items()
+            if entry.last_heard < deadline
+        )
+        for node_id in stale:
+            del self._entries[node_id]
+        return stale
+
+    def clear(self) -> None:
+        """Forget all neighbours."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, node_id: NodeId) -> typing.Optional[NeighborEntry]:
+        """The entry for *node_id*, or None."""
+        return self._entries.get(node_id)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> typing.List[NeighborEntry]:
+        """All entries in id-sorted (deterministic) order."""
+        return [self._entries[nid] for nid in sorted(self._entries)]
+
+    def ids(self) -> typing.List[NodeId]:
+        """All neighbour ids, sorted."""
+        return sorted(self._entries)
+
+    def of_kind(self, kind: str) -> typing.List[NeighborEntry]:
+        """Entries whose ``kind`` matches, id-sorted."""
+        return [e for e in self.entries() if e.kind == kind]
+
+    def nearest_to(
+        self,
+        point: Point,
+        exclude: typing.Container[NodeId] = (),
+        kind: typing.Optional[str] = None,
+    ) -> typing.Optional[NeighborEntry]:
+        """The neighbour closest to *point*, or None.
+
+        Ties break towards the smaller id, keeping runs deterministic.
+        """
+        best: typing.Optional[NeighborEntry] = None
+        best_d2 = float("inf")
+        for entry in self.entries():
+            if entry.node_id in exclude:
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            d2 = point.squared_distance_to(entry.position)
+            if d2 < best_d2:
+                best = entry
+                best_d2 = d2
+        return best
+
+    def closer_to_than(
+        self, destination: Point, reference_distance: float
+    ) -> typing.List[NeighborEntry]:
+        """Neighbours strictly closer to *destination* than the reference.
+
+        The greedy-forwarding candidate set.
+        """
+        return [
+            entry
+            for entry in self.entries()
+            if entry.position.distance_to(destination) < reference_distance
+        ]
+
+    def __repr__(self) -> str:
+        return f"<NeighborTable {len(self._entries)} entries>"

@@ -1,0 +1,251 @@
+"""Base network node: radio + MAC + neighbour table + router.
+
+:class:`NetworkNode` is the substrate shared by sensors, robots and the
+central manager.  Subclasses in :mod:`repro.core` override the
+application hooks (``on_packet_delivered``, ``on_broadcast_received``)
+and add their protocol logic on top.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.geometry.point import Point
+from repro.net.channel import Channel
+from repro.net.frames import (
+    BROADCAST,
+    Frame,
+    NodeAnnouncement,
+    NodeId,
+    Packet,
+)
+from repro.net.mac import Mac, MacConfig
+from repro.net.neighbors import NeighborTable
+from repro.net.radio import RadioConfig
+from repro.routing.router import GeographicRouter
+from repro.routing.stats import DropReason, RoutingStats
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["NetworkNode"]
+
+
+class NetworkNode:
+    """A wireless node with position, radio, MAC and geographic router.
+
+    Parameters
+    ----------
+    node_id:
+        Globally unique identifier (e.g. ``"sensor-17"``).
+    position:
+        Initial location; static for sensors, mutable for robots via
+        :meth:`move_to`.
+    radio:
+        Radio parameters (range, bitrate, loss).
+    sim, channel, streams:
+        Scenario-wide simulator, medium and random streams.
+    routing_stats:
+        Shared routing statistics collector.
+    tracer:
+        Optional structured tracer.
+    mac_config:
+        MAC tunables; defaults are suitable for the paper's scenarios.
+    """
+
+    #: Node kind advertised in beacons; subclasses override.
+    kind: str = "node"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Point,
+        radio: RadioConfig,
+        sim: Simulator,
+        channel: Channel,
+        streams: RandomStreams,
+        routing_stats: typing.Optional[RoutingStats] = None,
+        tracer: typing.Optional[Tracer] = None,
+        mac_config: typing.Optional[MacConfig] = None,
+    ) -> None:
+        self.node_id = node_id
+        self._position = position
+        self.radio = radio
+        self.sim = sim
+        self.channel = channel
+        self.streams = streams
+        self.tracer = tracer or channel.tracer
+        self.alive = True
+        self.neighbor_table = NeighborTable()
+        self.mac = Mac(
+            self,
+            channel,
+            sim,
+            streams.stream(f"mac.{node_id}"),
+            mac_config,
+        )
+        self.router = GeographicRouter(self, routing_stats or RoutingStats())
+        channel.register(self)
+
+    # ------------------------------------------------------------------
+    # Position
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Point:
+        """Current location in the field."""
+        return self._position
+
+    def move_to(self, position: Point) -> None:
+        """Relocate the node and update the channel's spatial index."""
+        self._position = position
+        if self.alive:
+            self.channel.node_moved(self)
+            if self.tracer.active:
+                self.tracer.emit(
+                    "move",
+                    time=self.sim.now,
+                    node=self.node_id,
+                    kind=self.kind,
+                    position=position,
+                )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def die(self) -> None:
+        """Fail the node: it stops sending, receiving and processing."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.channel.unregister(self.node_id)
+        if self.tracer.active:
+            self.tracer.emit(
+                "node_death",
+                time=self.sim.now,
+                node=self.node_id,
+                kind=self.kind,
+                position=self._position,
+            )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def handle_frame(
+        self, frame: Frame, sender_id: NodeId, sender_position: Point
+    ) -> None:
+        """Link-layer entry point, called by the channel on delivery."""
+        if not self.alive:
+            return
+        processed = self.mac.handle_incoming(frame, sender_id)
+        if processed is None:
+            return  # Consumed at the link layer (an ack).
+        packet = processed.packet
+        if packet is None:
+            return
+        if packet.is_broadcast:
+            # Any directly heard announcement (beacon, init broadcast,
+            # robot location update) refreshes the neighbour table.
+            payload = packet.payload
+            if isinstance(payload, NodeAnnouncement):
+                self.neighbor_table.upsert(
+                    payload.node_id,
+                    payload.position,
+                    payload.kind,
+                    self.sim.now,
+                )
+            self.on_broadcast_received(packet, sender_id, sender_position)
+        else:
+            self.router.handle(packet, previous_position=sender_position)
+
+    def on_link_failure(self, frame: Frame) -> None:
+        """ARQ gave up on *frame*'s next hop (lossy mode only).
+
+        Standard GPSR reaction: evict the unresponsive neighbour and
+        re-route the packet from here.
+        """
+        self.neighbor_table.remove(frame.link_destination)
+        packet = frame.packet
+        if packet is None:
+            return
+        if packet.hops >= packet.max_hops:
+            self.router.stats.record_drop(
+                packet.category, DropReason.LINK_FAILURE
+            )
+            return
+        self.router.handle(packet, previous_position=None)
+
+    # ------------------------------------------------------------------
+    # Send helpers
+    # ------------------------------------------------------------------
+    def send_routed(
+        self,
+        destination: NodeId,
+        destination_location: Point,
+        category: str,
+        payload: typing.Any,
+        size_bits: typing.Optional[int] = None,
+    ) -> Packet:
+        """Originate a geographically routed packet to *destination*."""
+        packet = Packet(
+            source=self.node_id,
+            destination=destination,
+            category=category,
+            payload=payload,
+            dest_location=destination_location,
+        )
+        if size_bits is not None:
+            packet.size_bits = size_bits
+        self.router.originate(packet)
+        return packet
+
+    def send_broadcast(
+        self,
+        category: str,
+        payload: typing.Any,
+        size_bits: typing.Optional[int] = None,
+    ) -> Packet:
+        """Originate a one-hop broadcast packet."""
+        packet = Packet(
+            source=self.node_id,
+            destination=BROADCAST,
+            category=category,
+            payload=payload,
+        )
+        if size_bits is not None:
+            packet.size_bits = size_bits
+        self.mac.broadcast_packet(packet)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Application hooks (overridden by sensors / robots / managers)
+    # ------------------------------------------------------------------
+    def location_hint(
+        self, node_id: NodeId
+    ) -> typing.Optional[typing.Tuple[Point, int]]:
+        """Application-layer location service lookup.
+
+        Returns ``(position, seq)`` when this node knows a version of
+        *node_id*'s position, with ``seq`` the announcement sequence
+        number it came from; None when it knows nothing.  The router uses
+        this to refresh stale destination locations en route (the paper's
+        coordination-layer location service, §4.2).
+        """
+        return None
+
+    def on_packet_delivered(self, packet: Packet) -> None:
+        """A routed packet addressed to this node arrived."""
+
+    def on_broadcast_received(
+        self, packet: Packet, sender_id: NodeId, sender_position: Point
+    ) -> None:
+        """A one-hop broadcast from a neighbour arrived."""
+
+    def on_packet_dropped(self, packet: Packet, reason: str) -> None:
+        """The local router dropped *packet* (already counted in stats)."""
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (
+            f"<{type(self).__name__} {self.node_id} {state} "
+            f"at {self._position!r}>"
+        )

@@ -1,0 +1,15 @@
+"""Geographic routing: greedy + face recovery over planar subgraphs."""
+
+from repro.routing.planar import gabriel_neighbors, rng_neighbors
+from repro.routing.router import GREEDY, PERIMETER, GeographicRouter
+from repro.routing.stats import DropReason, RoutingStats
+
+__all__ = [
+    "DropReason",
+    "GREEDY",
+    "GeographicRouter",
+    "PERIMETER",
+    "RoutingStats",
+    "gabriel_neighbors",
+    "rng_neighbors",
+]

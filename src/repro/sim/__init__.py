@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch replacement for the role GloMoSim plays in the paper: a
+deterministic event queue, generator-based processes, named random streams,
+and structured tracing.  See :class:`repro.sim.engine.Simulator`.
+"""
+
+from repro.sim.engine import (
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Simulator,
+    StopSimulation,
+)
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    PENDING,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams, derive_seed
+from repro.sim.trace import RecordingSink, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "PENDING",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Process",
+    "RandomStreams",
+    "RecordingSink",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "derive_seed",
+]

@@ -1,0 +1,298 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot synchronisation point: it starts *pending*,
+is later *triggered* (either succeeded with a value or failed with an
+exception), and finally *processed* once the simulator has run its callbacks.
+Processes (see :mod:`repro.sim.process`) wait on events by ``yield``-ing
+them; plain callbacks can be attached with :meth:`Event.add_callback`.
+
+The kernel is deliberately small but complete: timeouts, composite
+conditions (:class:`AllOf` / :class:`AnyOf`) and process interrupts cover
+everything the sensor-network models in :mod:`repro.core` need.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class _PendingType:
+    """Sentinel marking an event whose value has not been decided yet."""
+
+    _instance: typing.Optional["_PendingType"] = None
+
+    def __new__(cls) -> "_PendingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<PENDING>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Sentinel stored in :attr:`Event.value` while the event is untriggered.
+PENDING = _PendingType()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process receives the interrupt at its current wait
+    point and may catch it to react (for example, a robot idling until the
+    next replacement request is interrupted when a request arrives).
+    """
+
+    @property
+    def cause(self) -> typing.Any:
+        """The cause object passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator. Events may only be triggered and processed
+        by the simulator that created them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled_at")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks run when the event is processed; each receives the event.
+        self.callbacks: typing.Optional[list] = []
+        self._value: typing.Any = PENDING
+        self._ok: bool = True
+        self._scheduled_at: typing.Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded, False if it failed.
+
+        Only meaningful once :attr:`triggered` is True.
+        """
+        return self._ok
+
+    @property
+    def value(self) -> typing.Any:
+        """The event's value (or the exception for failed events)."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with *value*.
+
+        The event is scheduled to be processed at the current simulation
+        time; callbacks run when the simulator reaches it in the event
+        queue (never synchronously inside ``succeed``).
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception*.
+
+        A failed event throws *exception* into every process waiting on it.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(
+                f"fail() requires an exception, got {exception!r}"
+            )
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another *event*.
+
+        Used as a callback to chain events together.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(typing.cast(BaseException, event._value))
+
+    # ------------------------------------------------------------------
+    # Callbacks
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        """Attach *callback* to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously), preserving at-least-once semantics.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        """Run all callbacks.  Called by the simulator main loop only.
+
+        A *failed* event with no listeners re-raises its exception: errors
+        never pass silently out of the simulation.
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            raise SimulationError(f"{self!r} has already been processed")
+        self.callbacks = None
+        if not self._ok and not callbacks:
+            raise typing.cast(BaseException, self._value)
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed *delay*.
+
+    Unlike a plain :class:`Event` it is triggered at construction time and
+    cannot be triggered manually.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self, sim: "Simulator", delay: float, value: typing.Any = None
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay)
+
+    def succeed(self, value: typing.Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """An event that triggers once *evaluate* is satisfied over *events*.
+
+    Concrete policies are :class:`AllOf` (conjunction) and :class:`AnyOf`
+    (disjunction).  The condition's value is a dict mapping each already
+    triggered constituent event to its value, in trigger order.
+    """
+
+    __slots__ = ("events", "_evaluate", "_outstanding")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: typing.Callable[[int, int], bool],
+        events: typing.Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self.events: tuple = tuple(events)
+        self._evaluate = evaluate
+        self._outstanding = len(self.events)
+
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError(
+                    "all events of a condition must share one simulator"
+                )
+
+        if not self.events:
+            # Vacuous condition: triggers immediately.
+            self.succeed({})
+            return
+
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect_values(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event.triggered and event.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._outstanding -= 1
+        if not event._ok:
+            self.fail(typing.cast(BaseException, event._value))
+        elif self._evaluate(len(self.events), self._outstanding):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Condition that fires once *all* constituent events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: typing.Iterable[Event]) -> None:
+        super().__init__(sim, lambda total, left: left == 0, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires as soon as *any* constituent event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: typing.Iterable[Event]) -> None:
+        super().__init__(sim, lambda total, left: left < total, events)

@@ -1,0 +1,95 @@
+"""ASCII rendering of a deployment field.
+
+Terminal-friendly snapshots: sensors as dots, robots as ``R``, the
+central manager as ``M``, recently failed positions as ``x``.  Used by
+the examples and handy in a REPL when debugging a scenario.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Rect
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import ScenarioRuntime
+
+__all__ = ["AsciiMap", "render_runtime"]
+
+
+class AsciiMap:
+    """A character canvas mapped onto a rectangular field."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        columns: int = 60,
+        rows: int = 24,
+    ) -> None:
+        if columns < 1 or rows < 1:
+            raise ValueError(
+                f"canvas must be at least 1x1: {columns}x{rows}"
+            )
+        self.bounds = bounds
+        self.columns = columns
+        self.rows = rows
+        self._grid = [[" "] * columns for _ in range(rows)]
+
+    def plot(
+        self, position: Point, glyph: str, overwrite: bool = True
+    ) -> None:
+        """Place *glyph* at the canvas cell containing *position*.
+
+        With ``overwrite=False`` the glyph only lands on empty cells —
+        used for background layers like the sensor dots.
+        """
+        if len(glyph) != 1:
+            raise ValueError(f"glyph must be one character: {glyph!r}")
+        clamped = self.bounds.clamp(position)
+        col = min(
+            int(
+                (clamped.x - self.bounds.x_min)
+                / self.bounds.width
+                * self.columns
+            ),
+            self.columns - 1,
+        )
+        row = min(
+            int(
+                (clamped.y - self.bounds.y_min)
+                / self.bounds.height
+                * self.rows
+            ),
+            self.rows - 1,
+        )
+        # Row 0 of the grid is the *top* of the field (max y).
+        target = self._grid[self.rows - 1 - row]
+        if overwrite or target[col] == " ":
+            target[col] = glyph
+
+    def render(self) -> str:
+        """The canvas with a box border."""
+        border = "+" + "-" * self.columns + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in self._grid)
+        return f"{border}\n{body}\n{border}"
+
+
+def render_runtime(
+    runtime: "ScenarioRuntime",
+    columns: int = 60,
+    rows: int = 24,
+    failed_positions: typing.Iterable[Point] = (),
+) -> str:
+    """Snapshot a scenario: sensors ``.``, robots ``R``, manager ``M``,
+    failure sites ``x``."""
+    canvas = AsciiMap(runtime.config.bounds, columns=columns, rows=rows)
+    for sensor in runtime.sensors_sorted():
+        canvas.plot(sensor.position, ".", overwrite=False)
+    for position in failed_positions:
+        canvas.plot(position, "x")
+    for robot in runtime.robots_sorted():
+        canvas.plot(robot.position, "R")
+    if runtime.manager is not None:
+        canvas.plot(runtime.manager.position, "M")
+    return canvas.render()

@@ -1,0 +1,234 @@
+"""Minimal from-scratch SVG writer and field renderer.
+
+No plotting dependency: :class:`SvgCanvas` builds an SVG document from
+primitives, and :func:`render_field_svg` draws a scenario snapshot —
+sensors, robots, the manager, the robots' Voronoi cells, and optional
+robot trails collected from ``"move"`` trace records.
+"""
+
+from __future__ import annotations
+
+import typing
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Rect
+from repro.geometry.voronoi import voronoi_cells
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import ScenarioRuntime
+    from repro.sim.trace import TraceRecord
+
+__all__ = ["SvgCanvas", "render_field_svg", "trails_from_trace"]
+
+
+class SvgCanvas:
+    """Accumulates SVG elements over a field-coordinate viewport.
+
+    Field coordinates (metres, y up) are mapped to SVG coordinates
+    (pixels, y down) automatically.
+    """
+
+    def __init__(
+        self, bounds: Rect, width_px: int = 640, margin_px: int = 20
+    ) -> None:
+        self.bounds = bounds
+        self.margin = margin_px
+        self.scale = (width_px - 2 * margin_px) / bounds.width
+        self.width_px = width_px
+        self.height_px = (
+            int(bounds.height * self.scale) + 2 * margin_px
+        )
+        self._elements: typing.List[str] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def _map(self, point: Point) -> typing.Tuple[float, float]:
+        x = self.margin + (point.x - self.bounds.x_min) * self.scale
+        y = (
+            self.height_px
+            - self.margin
+            - (point.y - self.bounds.y_min) * self.scale
+        )
+        return (round(x, 2), round(y, 2))
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def circle(
+        self,
+        center: Point,
+        radius_px: float,
+        fill: str,
+        stroke: str = "none",
+        opacity: float = 1.0,
+        title: typing.Optional[str] = None,
+    ) -> None:
+        x, y = self._map(center)
+        body = (
+            f'<circle cx="{x}" cy="{y}" r="{radius_px}" '
+            f"fill={quoteattr(fill)} stroke={quoteattr(stroke)} "
+            f'opacity="{opacity}"'
+        )
+        if title:
+            self._elements.append(
+                f"{body}><title>{escape(title)}</title></circle>"
+            )
+        else:
+            self._elements.append(f"{body}/>")
+
+    def polyline(
+        self,
+        points: typing.Sequence[Point],
+        stroke: str,
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(
+            f"{x},{y}" for x, y in (self._map(p) for p in points)
+        )
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" '
+            f"stroke={quoteattr(stroke)} "
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def polygon(
+        self,
+        points: typing.Sequence[Point],
+        fill: str = "none",
+        stroke: str = "#888888",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        if len(points) < 3:
+            return
+        coords = " ".join(
+            f"{x},{y}" for x, y in (self._map(p) for p in points)
+        )
+        self._elements.append(
+            f'<polygon points="{coords}" fill={quoteattr(fill)} '
+            f"stroke={quoteattr(stroke)} "
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def text(
+        self,
+        anchor: Point,
+        content: str,
+        size_px: int = 12,
+        fill: str = "#222222",
+    ) -> None:
+        x, y = self._map(anchor)
+        self._elements.append(
+            f'<text x="{x}" y="{y}" font-size="{size_px}" '
+            f"fill={quoteattr(fill)} "
+            f'font-family="monospace">{escape(content)}</text>'
+        )
+
+    def to_svg(self) -> str:
+        """The complete SVG document."""
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">'
+        )
+        background = (
+            f'<rect width="{self.width_px}" height="{self.height_px}" '
+            'fill="#fcfcfa"/>'
+        )
+        field_corners = [
+            Point(self.bounds.x_min, self.bounds.y_min),
+            Point(self.bounds.x_max, self.bounds.y_min),
+            Point(self.bounds.x_max, self.bounds.y_max),
+            Point(self.bounds.x_min, self.bounds.y_max),
+        ]
+        coords = " ".join(
+            f"{x},{y}" for x, y in (self._map(p) for p in field_corners)
+        )
+        frame = (
+            f'<polygon points="{coords}" fill="none" stroke="#444444" '
+            'stroke-width="1.5"/>'
+        )
+        return "\n".join(
+            [header, background, frame, *self._elements, "</svg>"]
+        )
+
+
+def trails_from_trace(
+    records: typing.Iterable["TraceRecord"],
+) -> typing.Dict[str, typing.List[Point]]:
+    """Group ``"move"`` trace records into per-robot position trails."""
+    trails: typing.Dict[str, typing.List[Point]] = {}
+    for record in records:
+        if record.category != "move":
+            continue
+        trails.setdefault(record["node"], []).append(record["position"])
+    return trails
+
+
+def render_field_svg(
+    runtime: "ScenarioRuntime",
+    trails: typing.Optional[typing.Mapping[str, typing.Sequence[Point]]] = None,
+    show_voronoi: bool = True,
+    width_px: int = 640,
+) -> str:
+    """An SVG snapshot of a scenario's current state.
+
+    Sensors are grey dots, robots orange, the manager purple; robot
+    Voronoi cells (the dynamic algorithm's implicit partition) are drawn
+    as light outlines, and *trails* (from :func:`trails_from_trace`) as
+    coloured paths.
+    """
+    canvas = SvgCanvas(runtime.config.bounds, width_px=width_px)
+
+    if show_voronoi and runtime.robots:
+        robots = runtime.robots_sorted()
+        cells = voronoi_cells(
+            [robot.position for robot in robots],
+            runtime.config.bounds,
+        )
+        for cell in cells:
+            canvas.polygon(
+                cell.vertices, stroke="#9db4d0", stroke_width=0.8,
+                opacity=0.9,
+            )
+
+    for sensor in runtime.sensors_sorted():
+        canvas.circle(
+            sensor.position, 1.6, fill="#7a7a7a", opacity=0.8,
+            title=sensor.node_id,
+        )
+
+    palette = ("#d1495b", "#26734d", "#1c6dd0", "#b07c12")
+    for index, (robot_id, trail) in enumerate(sorted((trails or {}).items())):
+        canvas.polyline(
+            list(trail),
+            stroke=palette[index % len(palette)],
+            stroke_width=1.2,
+            opacity=0.7,
+        )
+
+    for robot in runtime.robots_sorted():
+        canvas.circle(
+            robot.position, 5.0, fill="#e28413", stroke="#7a4a00",
+            title=robot.node_id,
+        )
+    if runtime.manager is not None:
+        canvas.circle(
+            runtime.manager.position, 6.0, fill="#7d3bbd",
+            stroke="#3d1d5e", title=runtime.manager.node_id,
+        )
+
+    canvas.text(
+        Point(
+            runtime.config.bounds.x_min + 4.0,
+            runtime.config.bounds.y_min + 4.0,
+        ),
+        f"t={runtime.sim.now:.0f}s  {runtime.config.algorithm}  "
+        f"{len(runtime.sensors)} sensors / {len(runtime.robots)} robots",
+    )
+    return canvas.to_svg()

@@ -1,0 +1,119 @@
+"""End-to-end integration: whole scenarios run, repair, and account."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    Algorithm,
+    ScenarioRuntime,
+    paper_scenario,
+    run_scenario,
+)
+from repro.net import Category
+from repro.sim import RecordingSink, Tracer
+
+FAST = dict(sim_time_s=4_000.0, sensors_per_robot=25, placement="grid")
+
+
+@pytest.fixture(scope="module", params=Algorithm.ALL)
+def small_run(request):
+    """One small run per algorithm, shared across this module's tests."""
+    config = paper_scenario(request.param, 4, seed=11, **FAST)
+    runtime = ScenarioRuntime(config)
+    report = runtime.run()
+    return runtime, report
+
+
+class TestScenarioCompletes:
+    def test_failures_occur_and_are_repaired(self, small_run):
+        runtime, report = small_run
+        assert report.failures > 5
+        assert report.repaired >= report.failures * 0.8
+
+    def test_reports_are_delivered(self, small_run):
+        runtime, report = small_run
+        assert report.report_delivery_ratio >= 0.95
+
+    def test_population_is_maintained(self, small_run):
+        runtime, report = small_run
+        # Dead sensors were replaced: the live population ends near the
+        # deployed size (failures not yet repaired at the horizon are
+        # the only shortfall).
+        expected = runtime.config.sensor_count
+        assert len(runtime.sensors) >= expected - (
+            report.failures - report.repaired
+        ) - runtime.config.robot_count
+        assert len(runtime.sensors) <= expected
+
+    def test_motion_overhead_is_plausible(self, small_run):
+        _runtime, report = small_run
+        # Legs live within the field: 0 < mean leg < field diagonal.
+        diagonal = 400.0 * 1.4143
+        assert 0.0 < report.mean_travel_distance < diagonal
+
+    def test_repair_latency_dominated_by_detection_and_travel(
+        self, small_run
+    ):
+        _runtime, report = small_run
+        # Detection takes 30-40 s, travel ~100 s: latency must exceed
+        # detection alone and stay within a generous bound.
+        assert 30.0 < report.mean_repair_latency < 2_000.0
+
+    def test_transmissions_accounted_by_category(self, small_run):
+        _runtime, report = small_run
+        transmissions = report.transmissions_by_category
+        assert transmissions.get(Category.INITIALIZATION, 0) > 0
+        assert transmissions.get(Category.FAILURE_REPORT, 0) > 0
+        assert transmissions.get(Category.LOCATION_UPDATE, 0) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        config = paper_scenario(Algorithm.DYNAMIC, 4, seed=21, **FAST)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        # String form equates NaN fields (e.g. request hops in the
+        # distributed algorithms) that plain equality would reject.
+        assert str(dataclasses.asdict(first)) == str(
+            dataclasses.asdict(second)
+        )
+
+    def test_different_seeds_differ(self):
+        first = run_scenario(
+            paper_scenario(Algorithm.DYNAMIC, 4, seed=1, **FAST)
+        )
+        second = run_scenario(
+            paper_scenario(Algorithm.DYNAMIC, 4, seed=2, **FAST)
+        )
+        assert (
+            first.mean_travel_distance != second.mean_travel_distance
+            or first.failures != second.failures
+        )
+
+
+class TestTracing:
+    def test_trace_records_cover_lifecycle(self):
+        tracer = Tracer()
+        sink = RecordingSink()
+        for category in ("failure", "replacement", "node_death"):
+            tracer.subscribe(category, sink)
+        config = paper_scenario(Algorithm.CENTRALIZED, 4, seed=11, **FAST)
+        run_scenario(config, tracer=tracer)
+        failures = sink.of_category("failure")
+        replacements = sink.of_category("replacement")
+        assert failures and replacements
+        assert len(replacements) <= len(failures)
+        assert {"failed", "robot", "new_node", "leg_distance"} <= set(
+            replacements[0].fields
+        )
+
+
+class TestRunUntil:
+    def test_partial_run_then_continue(self):
+        config = paper_scenario(Algorithm.CENTRALIZED, 4, seed=11, **FAST)
+        runtime = ScenarioRuntime(config)
+        early = runtime.run(until=1_000.0)
+        late = runtime.run()
+        assert late.failures >= early.failures
+        assert runtime.sim.now == config.sim_time_s

@@ -1,0 +1,140 @@
+"""Protocol invariants checked over whole runs.
+
+These assert properties that must hold for *every* event of a run, not
+just aggregates: flood relays are duplicate-suppressed, replacement
+bookkeeping is consistent, and the failure lifecycle is monotone.
+"""
+
+import collections
+
+import pytest
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.core.messages import FloodMessage
+from repro.net import Category
+
+SMALL = dict(sensors_per_robot=25, placement="grid", sim_time_s=4_000.0)
+
+
+@pytest.fixture(scope="module", params=(Algorithm.FIXED, Algorithm.DYNAMIC))
+def flood_run(request):
+    config = paper_scenario(request.param, 4, seed=26, **SMALL)
+    runtime = ScenarioRuntime(config)
+    relays = collections.Counter()
+
+    def count_relays(frame, sender):
+        packet = frame.packet
+        if packet is None or not isinstance(packet.payload, FloodMessage):
+            return
+        flood = packet.payload
+        relays[(sender.node_id, flood.origin_id, flood.seq)] += 1
+
+    runtime.channel.transmit_hooks.append(count_relays)
+    report = runtime.run()
+    return runtime, report, relays
+
+
+class TestFloodInvariants:
+    def test_each_node_relays_each_flood_at_most_once(self, flood_run):
+        _runtime, _report, relays = flood_run
+        # Paper §3.2: "it relays the message to its neighbors only once
+        # ... by remembering the sequence number".  The flood origin
+        # itself transmits each seq exactly once too.
+        duplicates = {
+            key: count for key, count in relays.items() if count > 1
+        }
+        assert duplicates == {}
+
+    def test_flood_sequence_numbers_strictly_increase(self, flood_run):
+        _runtime, _report, relays = flood_run
+        by_origin = collections.defaultdict(set)
+        for (sender, origin, seq), _count in relays.items():
+            if sender == origin:
+                by_origin[origin].add(seq)
+        for origin, seqs in by_origin.items():
+            ordered = sorted(seqs)
+            # The origin never reuses a sequence number.
+            assert len(ordered) == len(set(ordered))
+
+
+class TestLifecycleInvariants:
+    @pytest.fixture(scope="class")
+    def lifecycle_run(self):
+        config = paper_scenario(Algorithm.CENTRALIZED, 4, seed=26, **SMALL)
+        runtime = ScenarioRuntime(config)
+        report = runtime.run()
+        return runtime, report
+
+    def test_stage_times_are_monotone(self, lifecycle_run):
+        runtime, _report = lifecycle_run
+        for record in runtime.metrics.records():
+            stages = [record.death_time]
+            for value in (
+                record.detect_time,
+                record.report_time,
+                record.dispatch_time,
+                record.replace_time,
+            ):
+                if value is not None:
+                    stages.append(value)
+            assert stages == sorted(stages), record
+
+    def test_replacements_stand_at_the_failure_site(self, lifecycle_run):
+        runtime, _report = lifecycle_run
+        for record in runtime.metrics.records():
+            if record.replacement_id is None:
+                continue
+            replacement = runtime.sensors.get(record.replacement_id)
+            if replacement is None:
+                continue  # already failed again
+            assert replacement.position.is_close(record.position, 1e-6)
+
+    def test_replacement_ids_unique(self, lifecycle_run):
+        runtime, _report = lifecycle_run
+        ids = [
+            record.replacement_id
+            for record in runtime.metrics.records()
+            if record.replacement_id is not None
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_travel_distance_at_least_euclidean_leg(self, lifecycle_run):
+        runtime, _report = lifecycle_run
+        # A leg can never be shorter than the straight line from the
+        # robot's dispatch-time position... which we don't record; but it
+        # must be non-negative and no longer than speed * elapsed time.
+        speed = runtime.config.robot_speed_mps
+        for record in runtime.metrics.records():
+            if record.travel_distance is None:
+                continue
+            assert record.travel_distance >= 0.0
+            if record.dispatch_time is not None:
+                elapsed = record.replace_time - record.dispatch_time
+                assert record.travel_distance <= speed * elapsed + 1e-6
+
+    def test_every_repaired_failure_was_reported_first(
+        self, lifecycle_run
+    ):
+        runtime, _report = lifecycle_run
+        for record in runtime.metrics.records():
+            if record.repaired:
+                assert record.report_time is not None
+                assert record.robot_id is not None
+
+    def test_guardian_map_consistent_with_sensors(self, lifecycle_run):
+        runtime, _report = lifecycle_run
+        for sensor in runtime.sensors.values():
+            if sensor.guardian_id is not None:
+                assert (
+                    runtime.guardian_of[sensor.node_id]
+                    == sensor.guardian_id
+                )
+
+
+class TestPopulationConservation:
+    def test_live_plus_unrepaired_equals_deployed(self):
+        config = paper_scenario(Algorithm.DYNAMIC, 4, seed=27, **SMALL)
+        runtime = ScenarioRuntime(config)
+        report = runtime.run()
+        unrepaired = report.failures - report.repaired
+        assert len(runtime.sensors) + unrepaired == config.sensor_count

@@ -1,0 +1,74 @@
+"""Unit tests for the programmatic ablation API (small scales)."""
+
+import pytest
+
+from repro.experiments import (
+    AblationResult,
+    dispatch_policy_ablation,
+    partition_ablation,
+    update_threshold_ablation,
+)
+
+FAST = dict(
+    sim_time_s=3_000.0,
+    sensors_per_robot=25,
+    placement="grid",
+)
+
+
+class TestAblationResult:
+    def test_table_renders_metrics(self):
+        result = update_threshold_ablation(
+            thresholds=(20.0,), robot_count=4, **FAST
+        )
+        text = result.table()
+        assert "robot location-update threshold" in text
+        assert "20 m" in text
+
+    def test_metric_accessor(self):
+        result = update_threshold_ablation(
+            thresholds=(20.0,), robot_count=4, **FAST
+        )
+        value = result.metric("20 m", "report_delivery_ratio")
+        assert 0.9 <= value <= 1.0
+
+    def test_unknown_variant_raises(self):
+        result = update_threshold_ablation(
+            thresholds=(20.0,), robot_count=4, **FAST
+        )
+        with pytest.raises(KeyError):
+            result.metric("99 m", "repaired")
+
+
+class TestThresholdAblation:
+    def test_transmissions_decrease_with_threshold(self):
+        result = update_threshold_ablation(
+            thresholds=(10.0, 40.0), robot_count=4, **FAST
+        )
+        assert result.metric(
+            "10 m", "update_transmissions_per_failure"
+        ) > result.metric("40 m", "update_transmissions_per_failure")
+
+
+class TestPartitionAblation:
+    def test_both_shapes_present(self):
+        result = partition_ablation(robot_count=4, seeds=(1,), **FAST)
+        assert set(result.variants) == {"square", "staggered"}
+        assert isinstance(result, AblationResult)
+
+    def test_multi_seed_averaging(self):
+        result = partition_ablation(robot_count=4, seeds=(1, 2), **FAST)
+        for report in result.variants.values():
+            assert report.failures > 0
+
+
+class TestDispatchAblation:
+    def test_all_policies_present(self):
+        result = dispatch_policy_ablation(robot_count=4, **FAST)
+        assert set(result.variants) == {
+            "closest",
+            "closest_idle",
+            "least_loaded",
+        }
+        for report in result.variants.values():
+            assert report.repaired > 0

@@ -1,0 +1,172 @@
+"""Unit tests for the analysis layer: coverage and energy."""
+
+import pytest
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.analysis import (
+    CoverageTracker,
+    EnergyModel,
+    EnergyReport,
+    coverage_fraction,
+    energy_report,
+)
+from repro.geometry import Point, Rect
+from repro.net import Category
+
+BOUNDS = Rect.square(200.0)
+
+
+class TestCoverageFraction:
+    def test_empty_field_has_zero_coverage(self):
+        assert coverage_fraction([], BOUNDS) == 0.0
+
+    def test_single_central_sensor(self):
+        fraction = coverage_fraction(
+            [Point(100, 100)], BOUNDS, sensing_radius=50.0, resolution=60
+        )
+        # Disc area / field area = pi*50^2 / 200^2 ~= 0.196.
+        assert fraction == pytest.approx(0.196, abs=0.02)
+
+    def test_blanket_of_sensors_covers_everything(self):
+        positions = [
+            Point(x, y)
+            for x in range(10, 200, 20)
+            for y in range(10, 200, 20)
+        ]
+        fraction = coverage_fraction(
+            positions, BOUNDS, sensing_radius=20.0, resolution=50
+        )
+        assert fraction == pytest.approx(1.0, abs=0.01)
+
+    def test_radius_zero_field_uncovered(self):
+        fraction = coverage_fraction(
+            [Point(100, 100)], BOUNDS, sensing_radius=0.001, resolution=20
+        )
+        assert fraction <= 0.01
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            coverage_fraction([Point(0, 0)], BOUNDS, resolution=0)
+
+    def test_more_sensors_never_reduce_coverage(self):
+        few = [Point(50, 50), Point(150, 150)]
+        more = few + [Point(50, 150), Point(150, 50)]
+        assert coverage_fraction(more, BOUNDS) >= coverage_fraction(
+            few, BOUNDS
+        )
+
+
+class TestCoverageTracker:
+    @pytest.fixture(scope="class")
+    def tracked_run(self):
+        config = paper_scenario(
+            Algorithm.CENTRALIZED,
+            4,
+            seed=9,
+            sim_time_s=3_000.0,
+            sensors_per_robot=25,
+            placement="grid",
+        )
+        runtime = ScenarioRuntime(config)
+        tracker = CoverageTracker(runtime, period=250.0, resolution=30)
+        report = runtime.run()
+        return runtime, tracker, report
+
+    def test_samples_taken_on_schedule(self, tracked_run):
+        _runtime, tracker, _report = tracked_run
+        # t=0, 250, ..., up to (but excluding) the 3000 s horizon.
+        assert len(tracker.samples) == 12
+        times = [sample.time for sample in tracker.samples]
+        assert times == [250.0 * i for i in range(12)]
+
+    def test_coverage_stays_high_with_maintenance(self, tracked_run):
+        _runtime, tracker, _report = tracked_run
+        assert tracker.mean_coverage() > 0.85
+        assert tracker.minimum_coverage() > 0.75
+
+    def test_deficit_integral_non_negative(self, tracked_run):
+        _runtime, tracker, _report = tracked_run
+        assert tracker.deficit_integral() >= 0.0
+
+    def test_deficit_with_explicit_baseline(self, tracked_run):
+        _runtime, tracker, _report = tracked_run
+        # A baseline of zero means no deficit can ever accumulate.
+        assert tracker.deficit_integral(baseline=0.0) == 0.0
+        # A baseline of one counts every uncovered fraction.
+        assert tracker.deficit_integral(
+            baseline=1.0
+        ) >= tracker.deficit_integral()
+
+    def test_invalid_period_rejected(self, tracked_run):
+        runtime, _tracker, _report = tracked_run
+        with pytest.raises(ValueError):
+            CoverageTracker(runtime, period=0.0)
+
+
+class TestEnergyModel:
+    def test_defaults_are_valid(self):
+        model = EnergyModel()
+        assert model.tx_j_per_bit > model.rx_j_per_bit > 0
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(tx_j_per_bit=-1.0)
+
+    def test_invalid_frame_size_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(frame_size_bits=0)
+
+
+class TestEnergyReport:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = paper_scenario(
+            Algorithm.CENTRALIZED,
+            4,
+            seed=9,
+            sim_time_s=3_000.0,
+            sensors_per_robot=25,
+            placement="grid",
+        )
+        runtime = ScenarioRuntime(config)
+        runtime.run()
+        return runtime
+
+    def test_totals_consistent(self, run):
+        report = energy_report(run.channel, run.metrics)
+        assert report.tx_total_j == pytest.approx(
+            sum(report.tx_by_category.values())
+        )
+        assert report.motion_total_j == pytest.approx(
+            sum(report.motion_by_robot.values())
+        )
+        assert report.grand_total_j == pytest.approx(
+            report.messaging_total_j + report.motion_total_j
+        )
+
+    def test_motion_energy_matches_odometry(self, run):
+        model = EnergyModel(motion_j_per_m=20.0)
+        report = energy_report(run.channel, run.metrics, model)
+        total_distance = sum(run.metrics.robot_distance.values())
+        assert report.motion_total_j == pytest.approx(
+            20.0 * total_distance
+        )
+
+    def test_tx_energy_scales_with_model(self, run):
+        small = energy_report(
+            run.channel, run.metrics, EnergyModel(tx_j_per_bit=1e-6)
+        )
+        large = energy_report(
+            run.channel, run.metrics, EnergyModel(tx_j_per_bit=2e-6)
+        )
+        assert large.tx_total_j == pytest.approx(2 * small.tx_total_j)
+
+    def test_categories_present(self, run):
+        report = energy_report(run.channel, run.metrics)
+        assert Category.LOCATION_UPDATE in report.tx_by_category
+        assert Category.FAILURE_REPORT in report.tx_by_category
+
+    def test_summary_lines(self, run):
+        lines = energy_report(run.channel, run.metrics).summary_lines()
+        assert any("motion energy" in line for line in lines)
+        assert isinstance(EnergyReport.grand_total_j, property)

@@ -1,0 +1,227 @@
+"""Unit tests for placement, failure processes, and scenario configs."""
+
+import math
+import random
+
+import pytest
+
+from repro.deploy import (
+    Algorithm,
+    DetectionMode,
+    ExponentialLifetime,
+    FailureProcess,
+    FixedLifetime,
+    PAPER_ROBOT_COUNTS,
+    ScenarioConfig,
+    WeibullLifetime,
+    connected_uniform_positions,
+    is_connected,
+    jittered_grid_positions,
+    paper_scenario,
+    uniform_random_positions,
+)
+from repro.geometry import Point, Rect
+from repro.net import Channel, NetworkNode, sensor_radio
+from repro.routing import RoutingStats
+from repro.sim import RandomStreams, Simulator
+
+BOUNDS = Rect.square(200.0)
+
+
+class TestPlacement:
+    def test_uniform_count_and_bounds(self):
+        rng = random.Random(1)
+        positions = uniform_random_positions(100, BOUNDS, rng)
+        assert len(positions) == 100
+        assert all(BOUNDS.contains(p) for p in positions)
+
+    def test_uniform_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_random_positions(-1, BOUNDS, random.Random(0))
+
+    def test_uniform_is_seed_deterministic(self):
+        a = uniform_random_positions(10, BOUNDS, random.Random(5))
+        b = uniform_random_positions(10, BOUNDS, random.Random(5))
+        assert a == b
+
+    def test_jittered_grid_exact_without_rng(self):
+        positions = jittered_grid_positions(9, BOUNDS)
+        assert len(positions) == 9
+        assert positions == jittered_grid_positions(9, BOUNDS)
+
+    def test_jittered_grid_within_bounds(self):
+        positions = jittered_grid_positions(50, BOUNDS, random.Random(2))
+        assert all(BOUNDS.contains(p) for p in positions)
+
+    def test_jittered_grid_zero(self):
+        assert jittered_grid_positions(0, BOUNDS) == []
+
+    def test_is_connected_trivial_cases(self):
+        assert is_connected([], 10.0)
+        assert is_connected([Point(0, 0)], 10.0)
+
+    def test_is_connected_detects_split(self):
+        points = [Point(0, 0), Point(10, 0), Point(500, 500)]
+        assert not is_connected(points, 63.0)
+        assert is_connected(points[:2], 63.0)
+
+    def test_is_connected_chain(self):
+        chain = [Point(60.0 * i, 0) for i in range(10)]
+        assert is_connected(chain, 63.0)
+        assert not is_connected(chain, 50.0)
+
+    def test_connected_uniform_produces_connected_layout(self):
+        rng = random.Random(3)
+        positions = connected_uniform_positions(50, BOUNDS, 63.0, rng)
+        assert is_connected(positions, 63.0)
+
+    def test_connected_uniform_gives_up_eventually(self):
+        rng = random.Random(3)
+        with pytest.raises(RuntimeError):
+            # 3 nodes with 1 m radios over 200 m: essentially impossible.
+            connected_uniform_positions(
+                3, BOUNDS, 1.0, rng, max_attempts=5
+            )
+
+
+class TestLifetimes:
+    def test_exponential_mean(self):
+        rng = random.Random(0)
+        dist = ExponentialLifetime(mean=100.0)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialLifetime(mean=0.0)
+
+    def test_fixed_lifetime(self):
+        dist = FixedLifetime(42.0)
+        assert dist.sample(random.Random(0)) == 42.0
+
+    def test_weibull_mean(self):
+        rng = random.Random(1)
+        dist = WeibullLifetime(scale=100.0, shape=2.0)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        expected = 100.0 * math.gamma(1.5)
+        assert sum(samples) / len(samples) == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_weibull_invalid_params(self):
+        with pytest.raises(ValueError):
+            WeibullLifetime(scale=0.0, shape=1.0)
+
+
+class TestFailureProcess:
+    def build(self, lifetime=10.0, horizon=None):
+        sim = Simulator()
+        streams = RandomStreams(0)
+        channel = Channel(sim, streams)
+        process = FailureProcess(
+            sim,
+            FixedLifetime(lifetime),
+            streams.stream("lifetime"),
+            horizon=horizon,
+        )
+        node = NetworkNode(
+            "victim", Point(0, 0), sensor_radio(), sim, channel,
+            streams, routing_stats=RoutingStats(),
+        )
+        return sim, process, node
+
+    def test_kills_at_sampled_time(self):
+        sim, process, node = self.build(lifetime=10.0)
+        deaths = []
+        process.death_hooks.append(
+            lambda n, t: deaths.append((n.node_id, t))
+        )
+        process.register(node)
+        sim.run(until=20.0)
+        assert deaths == [("victim", 10.0)]
+        assert not node.alive
+        assert process.failures == 1
+
+    def test_horizon_skips_far_deaths(self):
+        sim, process, node = self.build(lifetime=100.0, horizon=50.0)
+        death_time = process.register(node)
+        assert death_time == 100.0
+        sim.run(until=50.0)
+        assert node.alive
+        assert process.failures == 0
+
+    def test_cancel(self):
+        sim, process, node = self.build(lifetime=10.0)
+        process.register(node)
+        process.cancel("victim")
+        sim.run(until=20.0)
+        assert node.alive
+
+    def test_kill_now(self):
+        sim, process, node = self.build(lifetime=1000.0)
+        process.register(node)
+        process.kill_now(node)
+        assert not node.alive
+        assert process.failures == 1
+
+    def test_double_death_counted_once(self):
+        sim, process, node = self.build(lifetime=10.0)
+        process.register(node)
+        process.kill_now(node)
+        sim.run(until=20.0)
+        assert process.failures == 1
+
+
+class TestScenarioConfig:
+    def test_paper_defaults(self):
+        config = ScenarioConfig()
+        assert config.mean_lifetime_s == 16_000.0
+        assert config.sim_time_s == 64_000.0
+        assert config.beacon_period_s == 10.0
+        assert config.update_threshold_m == 20.0
+        assert config.robot_speed_mps == 1.0
+
+    def test_area_scaling_matches_paper(self):
+        # "with 16 robots, the sensor area is 800x800 m2 with 800 sensors"
+        config = paper_scenario(Algorithm.FIXED, 16)
+        assert config.area_side_m == pytest.approx(800.0)
+        assert config.sensor_count == 800
+
+    def test_paper_robot_counts(self):
+        assert PAPER_ROBOT_COUNTS == (4, 9, 16)
+
+    def test_detection_delay_bounds(self):
+        config = ScenarioConfig()
+        assert config.detection_delay_bounds == (30.0, 40.0)
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(algorithm="quantum")
+
+    def test_invalid_detection_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(detection_mode="psychic")
+
+    def test_invalid_robot_count_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(robot_count=0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(robot_capacity=0)
+
+    def test_replace_creates_modified_copy(self):
+        config = ScenarioConfig()
+        changed = config.replace(sim_time_s=100.0)
+        assert changed.sim_time_s == 100.0
+        assert config.sim_time_s == 64_000.0
+
+    def test_describe_mentions_key_facts(self):
+        text = paper_scenario(Algorithm.DYNAMIC, 9, seed=7).describe()
+        assert "dynamic" in text
+        assert "9 robots" in text
+        assert "450 sensors" in text
+        assert "seed=7" in text
+
+    def test_detection_mode_default_is_event(self):
+        assert ScenarioConfig().detection_mode == DetectionMode.EVENT

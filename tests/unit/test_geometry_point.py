@@ -1,0 +1,98 @@
+"""Unit tests for points and vectors."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, centroid_of, midpoint
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+        assert Point(4, 6) / 2 == Point(2, 3)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_immutability(self):
+        point = Point(1, 2)
+        with pytest.raises(AttributeError):
+            point.x = 5
+
+
+class TestMetrics:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == 25.0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_normalized(self):
+        unit = Point(3, 4).normalized()
+        assert math.isclose(unit.norm(), 1.0)
+
+    def test_normalize_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_angle_to(self):
+        assert Point(0, 0).angle_to(Point(1, 0)) == 0.0
+        assert math.isclose(
+            Point(0, 0).angle_to(Point(0, 1)), math.pi / 2
+        )
+
+
+class TestInterpolation:
+    def test_towards_partial(self):
+        moved = Point(0, 0).towards(Point(10, 0), 4.0)
+        assert moved == Point(4, 0)
+
+    def test_towards_never_overshoots(self):
+        target = Point(3, 0)
+        assert Point(0, 0).towards(target, 100.0) == target
+
+    def test_towards_zero_separation(self):
+        point = Point(5, 5)
+        assert point.towards(point, 3.0) == point
+
+    def test_lerp_endpoints(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Point(5, 10)
+
+    def test_is_close(self):
+        assert Point(0, 0).is_close(Point(0, 1e-12))
+        assert not Point(0, 0).is_close(Point(0, 1e-3))
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(4, 6)) == Point(2, 3)
+
+    def test_centroid(self):
+        points = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid_of(points) == Point(1, 1)
+
+    def test_centroid_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid_of([])
+
+    def test_iteration_and_tuple(self):
+        x, y = Point(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)

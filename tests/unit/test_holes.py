@@ -1,0 +1,126 @@
+"""Unit tests for largest-empty-circle coverage-gap analysis."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.holes import CoverageGap, HoleTracker, worst_gap
+from repro.geometry import Point, Rect
+
+BOUNDS = Rect.square(100.0)
+
+
+class TestWorstGap:
+    def test_empty_field(self):
+        gap = worst_gap([], BOUNDS)
+        assert gap.distance == pytest.approx(BOUNDS.diagonal())
+
+    def test_single_central_sensor(self):
+        gap = worst_gap([Point(50, 50)], BOUNDS)
+        # Farthest point from the centre is any corner.
+        assert gap.distance == pytest.approx(math.hypot(50, 50))
+        assert gap.location in BOUNDS.corners
+
+    def test_single_corner_sensor(self):
+        gap = worst_gap([Point(0, 0)], BOUNDS)
+        assert gap.distance == pytest.approx(BOUNDS.diagonal())
+        assert gap.location == Point(100, 100)
+
+    def test_two_sensors_gap_on_bisector(self):
+        gap = worst_gap([Point(25, 50), Point(75, 50)], BOUNDS)
+        # Worst point is a corner or a bisector-boundary intersection;
+        # with this symmetric layout the corners win.
+        assert gap.distance == pytest.approx(
+            math.hypot(25, 50), rel=1e-6
+        )
+
+    def test_four_quadrant_sensors(self):
+        sensors = [
+            Point(25, 25),
+            Point(75, 25),
+            Point(25, 75),
+            Point(75, 75),
+        ]
+        gap = worst_gap(sensors, BOUNDS)
+        # Field centre (a Voronoi vertex) and the corners tie at
+        # sqrt(2)*25.
+        assert gap.distance == pytest.approx(math.hypot(25, 25))
+
+    def test_matches_grid_sampling(self):
+        rng = random.Random(5)
+        sensors = [
+            Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(12)
+        ]
+        exact = worst_gap(sensors, BOUNDS)
+        # Brute-force sampled lower bound on the true maximum.
+        sampled = 0.0
+        for i in range(101):
+            for j in range(101):
+                probe = Point(i * 1.0, j * 1.0)
+                nearest = min(probe.distance_to(s) for s in sensors)
+                sampled = max(sampled, nearest)
+        assert exact.distance >= sampled - 1e-6
+        assert exact.distance <= sampled + 2.0  # grid resolution slack
+
+    def test_is_hole_threshold(self):
+        gap = CoverageGap(location=Point(0, 0), distance=40.0)
+        assert gap.is_hole(sensing_radius=31.5)
+        assert not gap.is_hole(sensing_radius=45.0)
+
+
+class TestHoleTracker:
+    def test_tracks_through_a_run(self):
+        from repro import Algorithm, ScenarioRuntime, paper_scenario
+
+        runtime = ScenarioRuntime(
+            paper_scenario(
+                Algorithm.CENTRALIZED,
+                4,
+                seed=9,
+                sensors_per_robot=25,
+                placement="grid",
+                sim_time_s=2_000.0,
+            )
+        )
+        tracker = HoleTracker(runtime, period=500.0)
+        runtime.run()
+        assert len(tracker.samples) == 4
+        # The paper's density keeps the worst gap modest: the grid pitch
+        # is ~40 m, so gaps stay well under one radio range.
+        assert 0.0 < tracker.max_gap() < 63.0
+
+    def test_hole_fraction(self):
+        from repro import Algorithm, ScenarioRuntime, paper_scenario
+
+        runtime = ScenarioRuntime(
+            paper_scenario(
+                Algorithm.CENTRALIZED,
+                4,
+                seed=9,
+                sensors_per_robot=25,
+                placement="grid",
+                sim_time_s=1_000.0,
+            )
+        )
+        tracker = HoleTracker(runtime, period=400.0)
+        runtime.run()
+        assert 0.0 <= tracker.hole_fraction(31.5) <= 1.0
+        # With an absurdly large sensing radius nothing is a hole.
+        assert tracker.hole_fraction(1_000.0) == 0.0
+
+    def test_invalid_period(self):
+        from repro import Algorithm, ScenarioRuntime, paper_scenario
+
+        runtime = ScenarioRuntime(
+            paper_scenario(
+                Algorithm.CENTRALIZED,
+                4,
+                seed=9,
+                sensors_per_robot=25,
+                sim_time_s=500.0,
+            )
+        )
+        with pytest.raises(ValueError):
+            HoleTracker(runtime, period=0.0)

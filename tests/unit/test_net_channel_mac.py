@@ -1,0 +1,237 @@
+"""Unit tests for the channel (delivery, ranges, loss) and MAC (queueing,
+jitter, ARQ)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.net import (
+    BROADCAST,
+    Category,
+    Channel,
+    Frame,
+    NetworkNode,
+    Packet,
+    RadioConfig,
+    robot_radio,
+    sensor_radio,
+)
+from repro.routing import RoutingStats
+from repro.sim import RandomStreams, Simulator
+
+
+class Recorder(NetworkNode):
+    """A node that records everything handed up by the link layer."""
+
+    kind = "sensor"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.broadcasts = []
+        self.delivered = []
+        self.link_failures = []
+
+    def on_broadcast_received(self, packet, sender_id, sender_position):
+        self.broadcasts.append((packet, sender_id))
+
+    def on_packet_delivered(self, packet):
+        self.delivered.append(packet)
+
+    def on_link_failure(self, frame):
+        self.link_failures.append(frame)
+        super().on_link_failure(frame)
+
+
+def build(positions, radio=None, loss=0.0, seed=0):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    channel = Channel(sim, streams)
+    stats = RoutingStats()
+    nodes = []
+    for index, position in enumerate(positions):
+        node = Recorder(
+            f"n{index:02d}",
+            position,
+            radio or sensor_radio(loss),
+            sim,
+            channel,
+            streams,
+            routing_stats=stats,
+        )
+        nodes.append(node)
+    return sim, channel, nodes
+
+
+class TestDelivery:
+    def test_broadcast_reaches_only_nodes_in_range(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(50, 0), Point(200, 0)]
+        )
+        nodes[0].send_broadcast(Category.DATA, "hello")
+        sim.run(until=1.0)
+        assert len(nodes[1].broadcasts) == 1
+        assert len(nodes[2].broadcasts) == 0
+
+    def test_sender_does_not_hear_itself(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert nodes[0].broadcasts == []
+
+    def test_range_is_directional(self):
+        # A long-range robot can reach a sensor that cannot reach back.
+        sim = Simulator()
+        streams = RandomStreams(0)
+        channel = Channel(sim, streams)
+        stats = RoutingStats()
+        robot = Recorder(
+            "robot", Point(0, 0), robot_radio(), sim, channel, streams,
+            routing_stats=stats,
+        )
+        sensor = Recorder(
+            "sensor", Point(150, 0), sensor_radio(), sim, channel,
+            streams, routing_stats=stats,
+        )
+        robot.send_broadcast(Category.DATA, "from-robot")
+        sensor.send_broadcast(Category.DATA, "from-sensor")
+        sim.run(until=1.0)
+        assert len(sensor.broadcasts) == 1    # robot reached 150m
+        assert len(robot.broadcasts) == 0     # sensor could not
+
+    def test_dead_receiver_gets_nothing(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        nodes[1].die()
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert nodes[1].broadcasts == []
+
+    def test_dead_sender_transmits_nothing(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        nodes[0].send_broadcast(Category.DATA, "x")  # queued in MAC
+        nodes[0].die()
+        sim.run(until=1.0)
+        assert nodes[1].broadcasts == []
+        assert channel.stats.frames_sent == 0
+
+    def test_transmission_counted_per_category(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        nodes[0].send_broadcast(Category.BEACON, "b")
+        nodes[0].send_broadcast(Category.LOCATION_UPDATE, "u")
+        sim.run(until=1.0)
+        assert channel.stats.transmissions[Category.BEACON] == 1
+        assert channel.stats.transmissions[Category.LOCATION_UPDATE] == 1
+
+    def test_transmit_hook_invoked(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        seen = []
+        channel.transmit_hooks.append(
+            lambda frame, sender: seen.append(sender.node_id)
+        )
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert seen == ["n00"]
+
+    def test_duplicate_node_id_rejected(self):
+        sim, channel, nodes = build([Point(0, 0)])
+        with pytest.raises(ValueError):
+            Recorder(
+                "n00", Point(1, 1), sensor_radio(), sim, channel,
+                RandomStreams(1), routing_stats=RoutingStats(),
+            )
+
+    def test_unreachable_unicast_notifies_sender(self):
+        sim, channel, nodes = build([Point(0, 0), Point(30, 0)])
+        # Hand-craft a unicast to a node that is too far away.
+        nodes[0].neighbor_table.upsert(
+            "phantom", Point(10, 0), "sensor", 0.0
+        )
+        packet = Packet(
+            source="n00",
+            destination="phantom",
+            category=Category.DATA,
+            dest_location=Point(10, 0),
+        )
+        nodes[0].mac.send_packet(packet, "phantom")
+        sim.run(until=1.0)
+        assert channel.stats.frames_unreachable == 1
+        assert len(nodes[0].link_failures) == 1
+        # GPSR reaction: the unresponsive neighbour was evicted.
+        assert "phantom" not in nodes[0].neighbor_table
+
+    def test_node_moved_updates_reachability(self):
+        sim, channel, nodes = build([Point(0, 0), Point(200, 0)])
+        nodes[1].move_to(Point(40, 0))
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert len(nodes[1].broadcasts) == 1
+
+
+class TestLossAndArq:
+    def test_lossless_by_default_no_acks(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert channel.stats.transmissions.get(Category.ACK, 0) == 0
+
+    def test_unicast_acked_and_retransmitted_under_loss(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0)], loss=0.4, seed=3
+        )
+        packet = Packet(
+            source="n00",
+            destination="n01",
+            category=Category.DATA,
+            dest_location=Point(10, 0),
+        )
+        nodes[0].neighbor_table.upsert("n01", Point(10, 0), "sensor", 0.0)
+        nodes[0].mac.send_packet(packet, "n01")
+        sim.run(until=5.0)
+        # Delivered despite loss (possibly after retransmissions).
+        assert len(nodes[1].delivered) == 1
+        assert channel.stats.transmissions.get(Category.ACK, 0) >= 1
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            RadioConfig(range_m=63.0, loss_rate=1.0)
+
+    def test_stats_snapshot_diff(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        before = channel.stats.snapshot()
+        nodes[0].send_broadcast(Category.DATA, "y")
+        sim.run(until=2.0)
+        diff = channel.stats.diff_since(before)
+        assert diff["frames_sent"] == 1
+        assert diff["transmissions"][Category.DATA] == 1
+
+
+class TestMacSerialisation:
+    def test_frames_sent_in_fifo_order(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        order = []
+        channel.transmit_hooks.append(
+            lambda frame, sender: order.append(frame.packet.payload)
+        )
+        for index in range(5):
+            nodes[0].send_broadcast(Category.DATA, index)
+        sim.run(until=2.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_queue_depth_visible(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        for index in range(3):
+            nodes[0].send_broadcast(Category.DATA, index)
+        assert nodes[0].mac.queue_depth >= 2
+
+    def test_broadcast_jitter_desynchronises(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0), Point(20, 0)]
+        )
+        times = []
+        channel.transmit_hooks.append(
+            lambda frame, sender: times.append(sim.now)
+        )
+        for node in nodes:
+            node.send_broadcast(Category.DATA, "x")
+        sim.run(until=2.0)
+        assert len(set(times)) == len(times)  # no two at the same instant

@@ -1,0 +1,98 @@
+"""Unit tests for frames, packets and categories."""
+
+from repro.geometry import Point
+from repro.net import (
+    BROADCAST,
+    Category,
+    Frame,
+    NodeAnnouncement,
+    Packet,
+)
+
+
+class TestPacket:
+    def test_broadcast_detection(self):
+        packet = Packet(source="a", destination=BROADCAST, category="x")
+        assert packet.is_broadcast
+
+    def test_routed_packet(self):
+        packet = Packet(
+            source="a",
+            destination="b",
+            category=Category.FAILURE_REPORT,
+            dest_location=Point(1, 2),
+        )
+        assert not packet.is_broadcast
+        assert packet.hops == 0
+
+    def test_packet_ids_are_unique(self):
+        a = Packet(source="a", destination="b", category="x")
+        b = Packet(source="a", destination="b", category="x")
+        assert a.packet_id != b.packet_id
+
+    def test_routing_state_is_per_packet(self):
+        a = Packet(source="a", destination="b", category="x")
+        b = Packet(source="a", destination="b", category="x")
+        a.routing_state["mode"] = "perimeter"
+        assert "mode" not in b.routing_state
+
+
+class TestFrame:
+    def test_broadcast_detection(self):
+        frame = Frame(sender="a", link_destination=BROADCAST, packet=None)
+        assert frame.is_broadcast
+
+    def test_category_from_packet(self):
+        packet = Packet(
+            source="a", destination="b", category=Category.BEACON
+        )
+        frame = Frame(sender="a", link_destination="b", packet=packet)
+        assert frame.category == Category.BEACON
+
+    def test_ack_category(self):
+        ack = Frame(
+            sender="a",
+            link_destination="b",
+            packet=None,
+            is_ack=True,
+            ack_for=7,
+        )
+        assert ack.category == Category.ACK
+
+    def test_payloadless_frame_category(self):
+        frame = Frame(sender="a", link_destination="b", packet=None)
+        assert frame.category == Category.DATA
+
+    def test_frame_ids_are_unique(self):
+        a = Frame(sender="a", link_destination="b", packet=None)
+        b = Frame(sender="a", link_destination="b", packet=None)
+        assert a.frame_id != b.frame_id
+
+
+class TestCategories:
+    def test_all_lists_every_category(self):
+        assert Category.FAILURE_REPORT in Category.ALL
+        assert Category.LOCATION_UPDATE in Category.ALL
+        assert Category.ACK in Category.ALL
+        assert len(set(Category.ALL)) == len(Category.ALL)
+
+
+class TestNodeAnnouncement:
+    def test_fields(self):
+        ann = NodeAnnouncement(
+            node_id="robot-01", position=Point(3, 4), kind="robot"
+        )
+        assert ann.node_id == "robot-01"
+        assert ann.position == Point(3, 4)
+        assert ann.kind == "robot"
+
+    def test_frozen(self):
+        ann = NodeAnnouncement(
+            node_id="x", position=Point(0, 0), kind="sensor"
+        )
+        try:
+            ann.kind = "robot"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,151 @@
+"""Unit tests for neighbour tables and the beacon service."""
+
+from repro.geometry import Point
+from repro.net import (
+    BeaconService,
+    Category,
+    Channel,
+    NeighborTable,
+    NetworkNode,
+    sensor_radio,
+)
+from repro.routing import RoutingStats
+from repro.sim import RandomStreams, Simulator
+
+import pytest
+
+
+class TestNeighborTable:
+    def make(self):
+        table = NeighborTable()
+        table.upsert("a", Point(0, 0), "sensor", 1.0)
+        table.upsert("b", Point(10, 0), "sensor", 2.0)
+        table.upsert("r", Point(5, 5), "robot", 3.0)
+        return table
+
+    def test_upsert_and_get(self):
+        table = self.make()
+        entry = table.get("a")
+        assert entry is not None and entry.position == Point(0, 0)
+        assert "a" in table and len(table) == 3
+
+    def test_upsert_refreshes(self):
+        table = self.make()
+        table.upsert("a", Point(1, 1), "sensor", 9.0)
+        entry = table.get("a")
+        assert entry.position == Point(1, 1)
+        assert entry.last_heard == 9.0
+
+    def test_upsert_keeps_latest_timestamp(self):
+        table = self.make()
+        table.upsert("a", Point(1, 1), "sensor", 0.5)  # older time
+        assert table.get("a").last_heard == 1.0
+
+    def test_remove(self):
+        table = self.make()
+        assert table.remove("a")
+        assert not table.remove("a")
+        assert "a" not in table
+
+    def test_expire_older_than(self):
+        table = self.make()
+        removed = table.expire_older_than(2.5)
+        assert removed == ["a", "b"]
+        assert table.ids() == ["r"]
+
+    def test_entries_sorted_by_id(self):
+        table = self.make()
+        assert [e.node_id for e in table.entries()] == ["a", "b", "r"]
+
+    def test_of_kind(self):
+        table = self.make()
+        assert [e.node_id for e in table.of_kind("robot")] == ["r"]
+
+    def test_nearest_to_with_exclusion_and_kind(self):
+        table = self.make()
+        nearest = table.nearest_to(Point(0, 1))
+        assert nearest.node_id == "a"
+        nearest = table.nearest_to(Point(0, 1), exclude={"a"})
+        assert nearest.node_id == "r"
+        nearest = table.nearest_to(Point(0, 1), kind="sensor", exclude={"a"})
+        assert nearest.node_id == "b"
+
+    def test_nearest_to_empty(self):
+        assert NeighborTable().nearest_to(Point(0, 0)) is None
+
+    def test_closer_to_than(self):
+        table = self.make()
+        closer = table.closer_to_than(Point(10, 0), 5.0)
+        assert [e.node_id for e in closer] == ["b"]
+
+    def test_clear(self):
+        table = self.make()
+        table.clear()
+        assert len(table) == 0
+
+
+class TestBeaconService:
+    def build_pair(self):
+        sim = Simulator()
+        streams = RandomStreams(5)
+        channel = Channel(sim, streams)
+        stats = RoutingStats()
+        a = NetworkNode(
+            "a", Point(0, 0), sensor_radio(), sim, channel, streams,
+            routing_stats=stats,
+        )
+        b = NetworkNode(
+            "b", Point(20, 0), sensor_radio(), sim, channel, streams,
+            routing_stats=stats,
+        )
+        return sim, channel, a, b
+
+    def test_beacons_fill_neighbor_tables(self):
+        sim, channel, a, b = self.build_pair()
+        BeaconService(a, period=10.0, started=True)
+        sim.run(until=25.0)
+        entry = b.neighbor_table.get("a")
+        assert entry is not None
+        assert entry.kind == "node"
+
+    def test_beacon_cadence(self):
+        sim, channel, a, b = self.build_pair()
+        service = BeaconService(a, period=10.0, started=True)
+        sim.run(until=45.0)
+        # First beacon within one period, then every 10 s: 4-5 beacons.
+        assert 4 <= service.beacons_sent <= 5
+        assert (
+            channel.stats.transmissions[Category.BEACON]
+            == service.beacons_sent
+        )
+
+    def test_stop_halts_beaconing(self):
+        sim, channel, a, b = self.build_pair()
+        service = BeaconService(a, period=10.0, started=True)
+        sim.run(until=15.0)
+        service.stop()
+        sent = service.beacons_sent
+        sim.run(until=60.0)
+        assert service.beacons_sent <= sent + 1  # at most one in flight
+
+    def test_death_halts_beaconing(self):
+        sim, channel, a, b = self.build_pair()
+        service = BeaconService(a, period=10.0, started=True)
+        sim.run(until=15.0)
+        a.die()
+        sent = service.beacons_sent
+        sim.run(until=60.0)
+        assert service.beacons_sent == sent
+
+    def test_start_is_idempotent(self):
+        sim, channel, a, b = self.build_pair()
+        service = BeaconService(a, period=10.0)
+        service.start()
+        service.start()
+        sim.run(until=25.0)
+        assert service.beacons_sent <= 3
+
+    def test_invalid_period_rejected(self):
+        sim, channel, a, b = self.build_pair()
+        with pytest.raises(ValueError):
+            BeaconService(a, period=0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the return-to-post idle extension."""
+
+import pytest
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.core.robot import RepairTask
+from repro.geometry import Point
+
+
+def build(return_after=60.0, **overrides):
+    defaults = dict(
+        sensors_per_robot=25,
+        placement="grid",
+        sim_time_s=4_000.0,
+        return_to_post_after_s=return_after,
+    )
+    defaults.update(overrides)
+    runtime = ScenarioRuntime(
+        paper_scenario(Algorithm.FIXED, 4, seed=33, **defaults)
+    )
+    runtime.initialize()
+    return runtime
+
+
+class TestReturnToPost:
+    def test_disabled_by_default(self):
+        runtime = ScenarioRuntime(
+            paper_scenario(
+                Algorithm.FIXED,
+                4,
+                seed=33,
+                sensors_per_robot=25,
+                placement="grid",
+                sim_time_s=500.0,
+            )
+        )
+        robot = runtime.robots_sorted()[0]
+        assert robot.home is None
+        assert robot.return_after is None
+
+    def test_home_is_deployment_position(self):
+        runtime = build()
+        for robot in runtime.robots_sorted():
+            assert robot.home is not None
+
+    def test_robot_returns_after_grace(self):
+        runtime = build(return_after=60.0)
+        robot = runtime.robots_sorted()[0]
+        home = robot.home
+        away = home + Point(80.0, 0.0)
+        runtime.metrics.record_death("job", away, runtime.sim.now)
+        robot.enqueue(RepairTask(failed_id="job", position=away))
+        # Drive out (~80 s), grace (60 s), drive back (~80 s).
+        runtime.sim.run(until=300.0)
+        assert robot.position.is_close(home, 1e-6)
+
+    def test_robot_stays_during_grace(self):
+        runtime = build(return_after=1_000.0)
+        robot = runtime.robots_sorted()[0]
+        away = robot.home + Point(80.0, 0.0)
+        runtime.metrics.record_death("job", away, runtime.sim.now)
+        robot.enqueue(RepairTask(failed_id="job", position=away))
+        runtime.sim.run(until=500.0)  # job done at ~80 s; grace not over
+        assert robot.position.is_close(away, 1e-6)
+
+    def test_return_aborts_for_new_work(self):
+        runtime = build(return_after=10.0)
+        robot = runtime.robots_sorted()[0]
+        home = robot.home
+        away = home + Point(100.0, 0.0)
+        runtime.metrics.record_death("job1", away, runtime.sim.now)
+        robot.enqueue(RepairTask(failed_id="job1", position=away))
+        # Let it finish (~100 s) and start heading home (10 s grace),
+        # then interrupt the return with a job near its current spot.
+        runtime.sim.call_in(
+            140.0,
+            lambda: (
+                runtime.metrics.record_death(
+                    "job2", away + Point(0.0, 30.0), runtime.sim.now
+                ),
+                robot.enqueue(
+                    RepairTask(
+                        failed_id="job2",
+                        position=away + Point(0.0, 30.0),
+                    )
+                ),
+            ),
+        )
+        runtime.sim.run(until=400.0)
+        record = runtime.metrics.record_of("job2")
+        assert record is not None and record.repaired
+        # The abandoned return means job2's leg started between home and
+        # the first job site, not from home.
+        assert record.travel_distance < 100.0
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            paper_scenario(
+                Algorithm.FIXED, 4, return_to_post_after_s=-1.0
+            )
+
+    def test_return_trips_counted_in_total_distance(self):
+        runtime = build(return_after=30.0)
+        robot = runtime.robots_sorted()[0]
+        away = robot.home + Point(60.0, 0.0)
+        runtime.metrics.record_death("job", away, runtime.sim.now)
+        robot.enqueue(RepairTask(failed_id="job", position=away))
+        runtime.sim.run(until=300.0)
+        total = runtime.metrics.robot_distance[robot.node_id]
+        # Out and back: ~120 m of odometry for a 60 m leg.
+        assert total == pytest.approx(120.0, abs=1.0)
+        record = runtime.metrics.record_of("job")
+        assert record.travel_distance == pytest.approx(60.0, abs=0.5)

@@ -1,0 +1,377 @@
+"""Unit tests for the discrete-event kernel (engine, events, processes)."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(3.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.5]
+        assert sim.now == 3.5
+
+    def test_timeouts_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(2.0, lambda: order.append("b"))
+        sim.call_in(1.0, lambda: order.append("a"))
+        sim.call_in(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.call_in(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_zero_timeout_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_call_at_schedules_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(7.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_call_at_in_the_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_run_until_time_stops_clock_there(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(1.0, lambda: fired.append(1))
+        sim.call_in(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_event_exactly_at_horizon_not_processed(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(5.0, lambda: fired.append(5))
+        sim.run(until=5.0)
+        assert fired == []
+
+    def test_run_until_event_returns_its_value(self):
+        sim = Simulator()
+
+        def producer(sim):
+            yield sim.timeout(2.0)
+            return 42
+
+        process = sim.process(producer(sim))
+        assert sim.run(until=process) == 42
+
+    def test_run_until_unreachable_event_raises(self):
+        sim = Simulator()
+        never = sim.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=never)
+
+    def test_run_until_past_time_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_run_drains_queue_without_horizon(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.call_in(delay, lambda: None)
+        sim.run()
+        assert sim.peek() == float("inf")
+
+    def test_clock_reaches_horizon_even_if_queue_drains_early(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+
+class TestEvents:
+    def test_event_lifecycle(self):
+        sim = Simulator()
+        event = sim.event()
+        assert not event.triggered and not event.processed
+        event.succeed("payload")
+        assert event.triggered and not event.processed
+        sim.run()
+        assert event.processed
+        assert event.value == "payload"
+
+    def test_value_unavailable_before_trigger(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_unhandled_failed_event_crashes_run(self):
+        sim = Simulator()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_callback_after_processing_runs_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(7)
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_cancel_discards_scheduled_callback(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_in(1.0, lambda: fired.append(True))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        done = []
+
+        def worker(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def boss(sim):
+            a = sim.process(worker(sim, 1.0))
+            b = sim.process(worker(sim, 4.0))
+            values = yield sim.all_of([a, b])
+            done.append((sim.now, sorted(values.values())))
+
+        sim.process(boss(sim))
+        sim.run()
+        assert done == [(4.0, [1.0, 4.0])]
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        done = []
+
+        def worker(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def boss(sim):
+            a = sim.process(worker(sim, 1.0))
+            b = sim.process(worker(sim, 4.0))
+            values = yield sim.any_of([a, b])
+            done.append((sim.now, list(values.values())))
+
+        sim.process(boss(sim))
+        sim.run()
+        assert done == [(1.0, [1.0])]
+
+    def test_empty_all_of_fires_immediately(self):
+        sim = Simulator()
+        done = []
+
+        def boss(sim):
+            values = yield sim.all_of([])
+            done.append(values)
+
+        sim.process(boss(sim))
+        sim.run()
+        assert done == [{}]
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(worker(sim))
+        sim.run()
+        assert process.value == "done"
+        assert not process.is_alive
+
+    def test_process_joins_another(self):
+        sim = Simulator()
+        log = []
+
+        def child(sim):
+            yield sim.timeout(2.0)
+            return "child-result"
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            log.append((sim.now, result))
+
+        sim.process(parent(sim))
+        sim.run()
+        assert log == [(2.0, "child-result")]
+
+    def test_yielding_non_event_fails_process(self):
+        # An unobserved failing process crashes the run: errors never
+        # pass silently out of the simulation.
+        sim = Simulator()
+
+        def bad(sim):
+            yield "nope"
+
+        process = sim.process(bad(sim))
+        with pytest.raises(SimulationError, match="non-event"):
+            sim.run()
+        assert not process.ok
+
+    def test_exception_in_process_propagates_to_joiner(self):
+        sim = Simulator()
+        caught = []
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def watcher(sim):
+            try:
+                yield sim.process(failing(sim))
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(watcher(sim))
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_waiting_process(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+        process = sim.process(sleeper(sim))
+        sim.call_in(3.0, lambda: process.interrupt("wake up"))
+        sim.run()
+        assert log == [(3.0, "wake up")]
+
+    def test_interrupted_process_can_keep_running(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+
+        process = sim.process(sleeper(sim))
+        sim.call_in(1.0, lambda: process.interrupt())
+        sim.run()
+        assert log == [6.0]
+
+    def test_stale_target_does_not_resume_twice(self):
+        # The original wait target fires *after* the interrupt; the
+        # process must not be woken a second time by it.
+        sim = Simulator()
+        wakes = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(2.0)
+            except Interrupt:
+                wakes.append(("interrupt", sim.now))
+            yield sim.timeout(10.0)
+            wakes.append(("timeout", sim.now))
+
+        process = sim.process(sleeper(sim))
+        sim.call_in(1.0, lambda: process.interrupt())
+        sim.run()
+        assert wakes == [("interrupt", 1.0), ("timeout", 11.0)]
+
+    def test_interrupting_finished_process_rejected(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        process = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+
+            def worker(sim, name, delay):
+                while sim.now < 20:
+                    yield sim.timeout(delay)
+                    log.append((sim.now, name))
+
+            sim.process(worker(sim, "a", 3.0))
+            sim.process(worker(sim, "b", 5.0))
+            sim.run(until=30.0)
+            return log
+
+        assert run_once() == run_once()
+
+    def test_processed_event_count_increases(self):
+        sim = Simulator()
+        for delay in range(1, 6):
+            sim.call_in(float(delay), lambda: None)
+        sim.run()
+        assert sim.processed_events >= 5

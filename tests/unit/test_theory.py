@@ -1,0 +1,142 @@
+"""Tests for the closed-form models — against Monte Carlo and the
+simulator itself."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.theory import (
+    MEAN_DISTANCE_TO_CENTER_UNIT_SQUARE,
+    MEAN_DISTANCE_UNIFORM_UNIT_SQUARE,
+    expected_greedy_hops,
+    expected_update_transmissions,
+    mean_distance_to_center,
+    mean_distance_uniform_square,
+    mean_nearest_robot_distance,
+    monte_carlo_mean_distance,
+)
+
+
+class TestClosedFormsAgainstMonteCarlo:
+    def test_uniform_square_constant(self):
+        def sample(rng):
+            ax, ay = rng.random(), rng.random()
+            bx, by = rng.random(), rng.random()
+            return math.hypot(ax - bx, ay - by)
+
+        estimate = monte_carlo_mean_distance(sample, samples=50_000)
+        assert MEAN_DISTANCE_UNIFORM_UNIT_SQUARE == pytest.approx(
+            estimate, rel=0.01
+        )
+        # And the published value, for the record.
+        assert MEAN_DISTANCE_UNIFORM_UNIT_SQUARE == pytest.approx(
+            0.521405, abs=1e-6
+        )
+
+    def test_distance_to_center_constant(self):
+        def sample(rng):
+            return math.hypot(rng.random() - 0.5, rng.random() - 0.5)
+
+        estimate = monte_carlo_mean_distance(sample, samples=50_000)
+        assert MEAN_DISTANCE_TO_CENTER_UNIT_SQUARE == pytest.approx(
+            estimate, rel=0.01
+        )
+        assert MEAN_DISTANCE_TO_CENTER_UNIT_SQUARE == pytest.approx(
+            0.382598, abs=1e-6
+        )
+
+    def test_nearest_robot_approximation(self):
+        # 16 robots in an 800x800 field; compare to Monte Carlo.
+        def sample(rng):
+            robots = [
+                (rng.uniform(0, 800), rng.uniform(0, 800))
+                for _ in range(16)
+            ]
+            px, py = rng.uniform(0, 800), rng.uniform(0, 800)
+            return min(
+                math.hypot(px - rx, py - ry) for rx, ry in robots
+            )
+
+        estimate = monte_carlo_mean_distance(sample, samples=10_000)
+        prediction = mean_nearest_robot_distance(800.0 * 800.0, 16)
+        # The Poisson approximation ignores edges: ~10 % tolerance.
+        assert prediction == pytest.approx(estimate, rel=0.10)
+
+    def test_scaling(self):
+        assert mean_distance_uniform_square(200.0) == pytest.approx(
+            104.28, abs=0.1
+        )
+        assert mean_distance_to_center(800.0) == pytest.approx(
+            306.08, abs=0.1
+        )
+
+    def test_invalid_robot_count(self):
+        with pytest.raises(ValueError):
+            mean_nearest_robot_distance(100.0, 0)
+
+
+class TestPredictionsAgainstSimulator:
+    """The headline check: theory predicts the measured figures."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        from repro import paper_scenario
+        from repro.experiments import run_config
+
+        return {
+            algorithm: run_config(
+                paper_scenario(
+                    algorithm,
+                    9,
+                    seed=1,
+                    sim_time_s=16_000.0,
+                    robot_speed_mps=4.0,
+                )
+            )
+            for algorithm in ("fixed", "dynamic", "centralized")
+        }
+
+    def test_fixed_motion_matches_two_uniform_points(self, reports):
+        predicted = mean_distance_uniform_square(200.0)
+        assert reports["fixed"].mean_travel_distance == pytest.approx(
+            predicted, rel=0.08
+        )
+
+    def test_centralized_motion_matches_nearest_robot(self, reports):
+        predicted = mean_nearest_robot_distance(600.0 * 600.0, 9)
+        assert reports[
+            "centralized"
+        ].mean_travel_distance == pytest.approx(predicted, rel=0.12)
+
+    def test_centralized_report_hops_match_center_distance(
+        self, reports
+    ):
+        distance = mean_distance_to_center(600.0)
+        predicted = expected_greedy_hops(distance, 63.0)
+        assert reports["centralized"].mean_report_hops == pytest.approx(
+            predicted, rel=0.20
+        )
+
+    def test_distributed_report_hops_match_subarea_span(self, reports):
+        predicted = expected_greedy_hops(
+            reports["dynamic"].mean_travel_distance, 63.0
+        )
+        assert reports["dynamic"].mean_report_hops == pytest.approx(
+            predicted, rel=0.30
+        )
+
+    def test_fixed_update_transmissions_match_flood_model(self, reports):
+        report = reports["fixed"]
+        predicted = expected_update_transmissions(
+            travel_per_failure_m=report.mean_travel_distance,
+            update_threshold_m=20.0,
+            sensors_in_scope=50.0,
+        )
+        assert report.update_transmissions_per_failure == pytest.approx(
+            predicted, rel=0.15
+        )
+
+    def test_greedy_hops_floor_is_one(self):
+        assert expected_greedy_hops(1.0, 63.0) == 1.0
+        assert expected_greedy_hops(0.0, 63.0) == 0.0

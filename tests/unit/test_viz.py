@@ -1,0 +1,125 @@
+"""Unit tests for ASCII and SVG field rendering."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro import Algorithm, ScenarioRuntime, paper_scenario
+from repro.geometry import Point, Rect
+from repro.sim import RecordingSink, Tracer
+from repro.viz import (
+    AsciiMap,
+    SvgCanvas,
+    render_field_svg,
+    render_runtime,
+    trails_from_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def small_runtime():
+    config = paper_scenario(
+        Algorithm.CENTRALIZED,
+        4,
+        seed=3,
+        sim_time_s=1_500.0,
+        sensors_per_robot=25,
+        placement="grid",
+    )
+    tracer = Tracer()
+    moves = RecordingSink()
+    tracer.subscribe("move", moves)
+    runtime = ScenarioRuntime(config, tracer=tracer)
+    runtime.run()
+    return runtime, moves
+
+
+class TestAsciiMap:
+    def test_plot_and_render_shape(self):
+        canvas = AsciiMap(Rect.square(100.0), columns=10, rows=5)
+        canvas.plot(Point(5, 5), "a")       # bottom-left
+        canvas.plot(Point(95, 95), "b")     # top-right
+        text = canvas.render()
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 rows + 2 borders
+        assert all(len(line) == 12 for line in lines)
+        assert "a" in lines[-2]  # bottom row
+        assert "b" in lines[1]   # top row
+
+    def test_overwrite_false_keeps_existing(self):
+        canvas = AsciiMap(Rect.square(100.0), columns=4, rows=4)
+        canvas.plot(Point(50, 50), "R")
+        canvas.plot(Point(50, 50), ".", overwrite=False)
+        assert "R" in canvas.render()
+        assert "." not in canvas.render()
+
+    def test_out_of_bounds_points_clamped(self):
+        canvas = AsciiMap(Rect.square(100.0), columns=4, rows=4)
+        canvas.plot(Point(-50, 500), "x")
+        assert "x" in canvas.render()
+
+    def test_invalid_glyph_rejected(self):
+        canvas = AsciiMap(Rect.square(100.0))
+        with pytest.raises(ValueError):
+            canvas.plot(Point(0, 0), "ab")
+
+    def test_invalid_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiMap(Rect.square(100.0), columns=0, rows=5)
+
+    def test_render_runtime_shows_all_roles(self, small_runtime):
+        runtime, _moves = small_runtime
+        text = render_runtime(runtime)
+        assert "." in text
+        assert "R" in text
+        assert "M" in text
+
+
+class TestSvg:
+    def test_document_is_wellformed_xml(self, small_runtime):
+        runtime, moves = small_runtime
+        svg = render_field_svg(
+            runtime, trails=trails_from_trace(moves.records)
+        )
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_sensors_robots_manager(self, small_runtime):
+        runtime, _moves = small_runtime
+        svg = render_field_svg(runtime, show_voronoi=False)
+        circles = svg.count("<circle")
+        expected = (
+            len(runtime.sensors) + len(runtime.robots) + 1  # manager
+        )
+        assert circles == expected
+
+    def test_voronoi_overlay_adds_polygons(self, small_runtime):
+        runtime, _moves = small_runtime
+        with_cells = render_field_svg(runtime, show_voronoi=True)
+        without = render_field_svg(runtime, show_voronoi=False)
+        assert with_cells.count("<polygon") > without.count("<polygon")
+
+    def test_trails_rendered_as_polylines(self, small_runtime):
+        runtime, moves = small_runtime
+        trails = trails_from_trace(moves.records)
+        assert trails  # robots moved during the run
+        svg = render_field_svg(runtime, trails=trails)
+        assert svg.count("<polyline") == len(
+            [t for t in trails.values() if len(t) >= 2]
+        )
+
+    def test_trails_grouped_per_robot(self, small_runtime):
+        _runtime, moves = small_runtime
+        trails = trails_from_trace(moves.records)
+        assert all(key.startswith("robot-") for key in trails)
+
+    def test_canvas_y_axis_points_up(self):
+        canvas = SvgCanvas(Rect.square(100.0), width_px=120, margin_px=10)
+        low = canvas._map(Point(0, 0))
+        high = canvas._map(Point(0, 100))
+        assert high[1] < low[1]  # larger field-y => smaller pixel-y
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(Rect.square(100.0))
+        canvas.text(Point(0, 0), "<&>")
+        assert "&lt;&amp;&gt;" in canvas.to_svg()
