@@ -27,8 +27,9 @@ magnitudes.
 from __future__ import annotations
 
 import math
-import random
 import typing
+
+from repro.sim.rng import RandomStream, RandomStreams
 
 __all__ = [
     "MEAN_DISTANCE_UNIFORM_UNIT_SQUARE",
@@ -121,13 +122,13 @@ def expected_update_transmissions(
 
 
 def monte_carlo_mean_distance(
-    sampler: typing.Callable[[random.Random], float],
+    sampler: typing.Callable[[RandomStream], float],
     samples: int = 20_000,
     seed: int = 0,
 ) -> float:
     """Monte-Carlo mean of a distance functional — the test oracle used
     to validate the closed forms above."""
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).stream("monte-carlo")
     total = 0.0
     for _ in range(samples):
         total += sampler(rng)

@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``)::
     repro-sim compare --robots 9 --seed 7
     repro-sim figure 2 --seeds 1 2 --sim-time 32000
     repro-sim params
+    repro-sim lint src/
 
 Every command prints plain text tables; ``run`` can additionally write
 an SVG snapshot of the final field state.
@@ -138,6 +139,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser(
         "params", help="print the paper's default parameters"
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism linter (same as repro-lint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
     return parser
 
@@ -327,6 +350,15 @@ def _command_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = [*args.paths, "--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _command_params(_args: argparse.Namespace) -> int:
     config = paper_scenario(Algorithm.CENTRALIZED, 16)
     rows = [
@@ -359,6 +391,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         "figure": _command_figure,
         "ablate": _command_ablate,
         "params": _command_params,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

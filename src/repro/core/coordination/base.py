@@ -13,12 +13,12 @@ the sensors themselves (``myrobot``, ``known_robots``, ``subarea``).
 from __future__ import annotations
 
 import abc
-import random
 import typing
 
 from repro.geometry.point import Point
 from repro.net.frames import NodeId
 from repro.net.neighbors import NeighborEntry
+from repro.sim.rng import RandomStream
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.messages import FloodMessage
@@ -43,7 +43,7 @@ class CoordinationStrategy(abc.ABC):
     # Deployment
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+    def robot_positions(self, rng: RandomStream) -> typing.List[Point]:
         """Initial positions for the maintenance robots."""
 
     @property

@@ -9,7 +9,6 @@ broadcast, every 20 m of travel.
 
 from __future__ import annotations
 
-import random
 import typing
 
 from repro.core.coordination.base import CoordinationStrategy
@@ -17,6 +16,7 @@ from repro.core.messages import FloodMessage
 from repro.deploy.placement import uniform_random_positions
 from repro.geometry.point import Point
 from repro.net.frames import Category, NodeAnnouncement, NodeId
+from repro.sim.rng import RandomStream
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.robot import RobotNode
@@ -34,7 +34,7 @@ class CentralizedStrategy(CoordinationStrategy):
     def uses_central_manager(self) -> bool:
         return True
 
-    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+    def robot_positions(self, rng: RandomStream) -> typing.List[Point]:
         """Robots start uniformly distributed (paper §2 assumption (a))."""
         return uniform_random_positions(
             self.config.robot_count, self.config.bounds, rng

@@ -12,7 +12,6 @@ observes slightly higher messaging overhead than the fixed algorithm
 
 from __future__ import annotations
 
-import random
 import typing
 
 from repro.core.coordination.base import CoordinationStrategy
@@ -21,6 +20,7 @@ from repro.deploy.placement import uniform_random_positions
 from repro.geometry.point import Point
 from repro.geometry.voronoi import closest_site_index
 from repro.net.frames import Category, NodeId
+from repro.sim.rng import RandomStream
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.robot import RobotNode
@@ -34,7 +34,7 @@ class DynamicStrategy(CoordinationStrategy):
 
     name = "dynamic"
 
-    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+    def robot_positions(self, rng: RandomStream) -> typing.List[Point]:
         """Robots start uniformly distributed (paper §2 assumption (a))."""
         return uniform_random_positions(
             self.config.robot_count, self.config.bounds, rng

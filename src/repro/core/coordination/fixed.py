@@ -10,7 +10,6 @@ Guardian/guardee pairs are restricted to one subarea.
 
 from __future__ import annotations
 
-import random
 import typing
 
 from repro.core.coordination.base import CoordinationStrategy
@@ -24,6 +23,7 @@ from repro.geometry.point import Point
 from repro.net.frames import Category, NodeId
 from repro.net.neighbors import NeighborEntry
 from repro.deploy.scenario import PartitionStyle
+from repro.sim.rng import RandomStream
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.robot import RobotNode
@@ -50,7 +50,7 @@ class FixedStrategy(CoordinationStrategy):
             )
         return SquarePartition(self.config.bounds, self.config.robot_count)
 
-    def robot_positions(self, rng: random.Random) -> typing.List[Point]:
+    def robot_positions(self, rng: RandomStream) -> typing.List[Point]:
         """Robots post up at their subarea centres (paper §3.2: "the
         robots first move to the centers of their corresponding
         subareas"; that setup move precedes measurement)."""

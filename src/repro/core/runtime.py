@@ -42,7 +42,12 @@ from repro.geometry.point import Point
 from repro.metrics.collector import MetricsCollector, RunReport
 from repro.net.beacon import BeaconService
 from repro.net.channel import Channel
-from repro.net.frames import Category, NodeAnnouncement, NodeId
+from repro.net.frames import (
+    Category,
+    NodeAnnouncement,
+    NodeId,
+    reset_id_counters,
+)
 from repro.net.node import NetworkNode
 from repro.net.radio import robot_radio, sensor_radio
 from repro.routing.stats import RoutingStats
@@ -62,6 +67,7 @@ class ScenarioRuntime:
         tracer: typing.Optional[Tracer] = None,
     ) -> None:
         self.config = config
+        reset_id_counters()  # fresh packet/frame ids => replayable traces
         self.sim = Simulator()
         self.streams = RandomStreams(config.seed)
         self.tracer = tracer or Tracer()
@@ -317,7 +323,7 @@ class ScenarioRuntime:
             guardee = self.sensors.get(guardee_id)
             if guardee is not None and guardee.alive:
                 guardee.neighbor_table.remove(failed_id)
-                guardee.select_guardian(exclude={failed_id})
+                guardee.select_guardian(exclude=(failed_id,))
 
     def _nearest_live_sensor(
         self, position: Point, exclude: NodeId

@@ -213,7 +213,7 @@ class SensorNode(NetworkNode):
                 if now - last > timeout_s:
                     old = self.guardian_id
                     self.neighbor_table.remove(old)
-                    self.select_guardian(exclude={old})
+                    self.select_guardian(exclude=(old,))
             # Prune stale *sensor* entries so greedy forwarding does not
             # aim at corpses.  Robot entries are refreshed by floods, not
             # beacons, so they are exempt.

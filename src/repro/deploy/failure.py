@@ -13,12 +13,12 @@ metrics collector can time repairs.
 
 from __future__ import annotations
 
-import random
 import typing
 
 from repro.net.node import NetworkNode
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
+from repro.sim.rng import RandomStream
 
 __all__ = [
     "LifetimeDistribution",
@@ -36,7 +36,7 @@ DEFAULT_MEAN_LIFETIME_S = 16_000.0
 class LifetimeDistribution(typing.Protocol):
     """Samples node lifetimes in seconds."""
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: RandomStream) -> float:
         """Draw one lifetime."""
         ...  # pragma: no cover - protocol
 
@@ -49,7 +49,7 @@ class ExponentialLifetime:
             raise ValueError(f"non-positive mean lifetime: {mean}")
         self.mean = mean
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: RandomStream) -> float:
         return rng.expovariate(1.0 / self.mean)
 
     def __repr__(self) -> str:
@@ -72,7 +72,7 @@ class WeibullLifetime:
         self.scale = scale
         self.shape = shape
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: RandomStream) -> float:
         return rng.weibullvariate(self.scale, self.shape)
 
     def __repr__(self) -> str:
@@ -87,7 +87,7 @@ class FixedLifetime:
             raise ValueError(f"non-positive lifetime: {value}")
         self.value = value
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, rng: RandomStream) -> float:
         return self.value
 
     def __repr__(self) -> str:
@@ -114,7 +114,7 @@ class FailureProcess:
         self,
         sim: Simulator,
         distribution: LifetimeDistribution,
-        rng: random.Random,
+        rng: RandomStream,
         horizon: typing.Optional[float] = None,
     ) -> None:
         self.sim = sim

@@ -12,11 +12,11 @@ probability).
 from __future__ import annotations
 
 import math
-import random
 import typing
 
 from repro.geometry.point import Point
 from repro.geometry.polygon import Rect
+from repro.sim.rng import RandomStream
 
 __all__ = [
     "uniform_random_positions",
@@ -27,7 +27,7 @@ __all__ = [
 
 
 def uniform_random_positions(
-    count: int, bounds: Rect, rng: random.Random
+    count: int, bounds: Rect, rng: RandomStream
 ) -> typing.List[Point]:
     """*count* positions drawn i.i.d. uniformly over *bounds*."""
     if count < 0:
@@ -44,7 +44,7 @@ def uniform_random_positions(
 def jittered_grid_positions(
     count: int,
     bounds: Rect,
-    rng: typing.Optional[random.Random] = None,
+    rng: typing.Optional[RandomStream] = None,
     jitter_fraction: float = 0.25,
 ) -> typing.List[Point]:
     """*count* positions on a near-square grid, each jittered within its
@@ -126,7 +126,7 @@ def connected_uniform_positions(
     count: int,
     bounds: Rect,
     radio_range: float,
-    rng: random.Random,
+    rng: RandomStream,
     max_attempts: int = 50,
 ) -> typing.List[Point]:
     """Uniform placement, resampled until the unit-disk graph connects.

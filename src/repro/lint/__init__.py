@@ -1,0 +1,60 @@
+"""``repro.lint`` — AST-based determinism linter for the simulator.
+
+The reproduction's claims (Figures 2–4 replaying identically from a
+seed) rest on a contract the type system cannot see: randomness flows
+only through :class:`repro.sim.rng.RandomStreams`, nothing reads the
+wall clock, and iteration order never leaks into the event schedule.
+This package enforces that contract statically with five rules
+(R1–R5); see ``docs/LINTING.md`` for the catalogue and the
+``# simlint: disable=<rule>`` suppression syntax.
+
+Programmatic use::
+
+    from repro.lint import lint_source
+    findings = lint_source("import random\\n", path="repro/x.py")
+
+Command line: ``repro-lint src/`` or ``python -m repro.lint src/``.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, load_config
+from repro.lint.engine import (
+    PARSE_ERROR_ID,
+    Suppressions,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.registry import (
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    register,
+    rule_ids,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.cli import main
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "LintConfig",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

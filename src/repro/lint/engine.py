@@ -1,0 +1,170 @@
+"""The lint engine: parse, run rules, honour suppressions.
+
+Suppression syntax (documented in ``docs/LINTING.md``)::
+
+    risky_call()            # simlint: disable=R3
+    # simlint: disable-file=R4
+
+``disable=...`` silences the listed rules on that physical line;
+``disable-file=...`` silences them for the whole file.  ``disable=all``
+is accepted in both forms.  Comments are located with :mod:`tokenize`,
+so a ``# simlint:`` inside a string literal never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+import typing
+
+from repro.lint import rules as _rules  # noqa: F401 - registers R1-R5
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.registry import FileContext, Violation, all_rules
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "Suppressions",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Pseudo rule id for files the engine cannot parse.
+PARSE_ERROR_ID = "E0"
+
+_SUPPRESS_PATTERN = re.compile(
+    r"#\s*simlint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+class Suppressions:
+    """Per-line and per-file rule suppressions parsed from comments."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: typing.Dict[int, typing.Set[str]] = {}
+        self.whole_file: typing.Set[str] = set()
+        for line_number, comment in self._comments(source):
+            match = _SUPPRESS_PATTERN.search(comment)
+            if not match:
+                continue
+            kind, listed = match.groups()
+            names = {
+                name.strip().upper()
+                for name in listed.split(",")
+                if name.strip()
+            }
+            if kind == "disable-file":
+                self.whole_file |= names
+            else:
+                self.by_line.setdefault(line_number, set()).update(names)
+
+    @staticmethod
+    def _comments(source: str) -> typing.Iterator[typing.Tuple[int, str]]:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Fall back to a plain scan; the file failed to parse anyway.
+            for index, line in enumerate(source.splitlines(), start=1):
+                if "#" in line:
+                    yield index, line[line.index("#"):]
+
+    def active(self, rule_id: str, line: int) -> bool:
+        """True when *rule_id* is suppressed on *line*."""
+        if "ALL" in self.whole_file or rule_id in self.whole_file:
+            return True
+        listed = self.by_line.get(line)
+        return bool(listed) and ("ALL" in listed or rule_id in listed)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig = DEFAULT_CONFIG,
+) -> typing.List[Violation]:
+    """Lint one unit of Python *source*, reported under *path*."""
+    display_path = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path=display_path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                rule_id=PARSE_ERROR_ID,
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    suppressions = Suppressions(source)
+    context = FileContext(
+        path=display_path,
+        tree=tree,
+        lines=source.splitlines(),
+        config=config,
+    )
+    findings: typing.List[Violation] = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        if config.is_exempt(display_path, rule.rule_id):
+            continue
+        for violation in rule.check(context):
+            if suppressions.active(violation.rule_id, violation.line):
+                continue
+            findings.append(violation)
+    return sorted(findings)
+
+
+def lint_file(
+    path: str, config: LintConfig = DEFAULT_CONFIG
+) -> typing.List[Violation]:
+    """Lint the file at *path* (UTF-8, errors replaced)."""
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, config=config)
+
+
+def iter_python_files(
+    paths: typing.Iterable[str],
+) -> typing.Iterator[str]:
+    """Expand *paths* (files or directory trees) to sorted ``.py`` files.
+
+    Hidden directories and ``__pycache__`` are skipped.  Yields paths in
+    sorted order so the report — and CI diffs of it — are stable.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, directories, files in os.walk(path):
+            directories[:] = sorted(
+                d
+                for d in directories
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_paths(
+    paths: typing.Iterable[str],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> typing.Tuple[typing.List[Violation], int]:
+    """Lint every Python file under *paths*.
+
+    Returns ``(violations, files_checked)``.
+    """
+    findings: typing.List[Violation] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(file_path, config=config))
+    return sorted(findings), checked

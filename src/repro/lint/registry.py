@@ -1,0 +1,109 @@
+"""Rule model and registry for the determinism linter.
+
+A rule is a class with a ``rule_id`` (``R1`` ... ``R5``), a short name,
+a prose description of the determinism contract it protects, and a
+``check`` method that walks one file's AST and yields
+:class:`Violation` records.  Rules self-register via :func:`register`
+so the engine, the CLI's ``--list-rules``, and the docs all see the
+same catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_ids",
+]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One lint finding, pinned to a file position."""
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``file:line rule-id message`` form."""
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+    def as_dict(self) -> typing.Dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one file.
+
+    ``path`` is the path as given to the engine, normalised to forward
+    slashes so exemption patterns match on every platform.
+    """
+
+    path: str
+    tree: ast.AST
+    lines: typing.Sequence[str]
+    config: typing.Any  # repro.lint.config.LintConfig (no import cycle)
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, context: FileContext
+    ) -> typing.Iterator[Violation]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def violation(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` at *node*'s position."""
+        return Violation(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: typing.Dict[str, Rule] = {}
+
+
+def register(rule_class: typing.Type[Rule]) -> typing.Type[Rule]:
+    """Class decorator adding one instance of *rule_class* to the registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"rule {rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> typing.List[Rule]:
+    """Every registered rule, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+def rule_ids() -> typing.List[str]:
+    return sorted(_REGISTRY)

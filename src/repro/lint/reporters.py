@@ -1,0 +1,57 @@
+"""Render lint findings as text or JSON.
+
+The text form is the grep-able contract promised by the CLI:
+``file:line rule-id message``, one violation per line, followed by a
+one-line summary on stderr-friendly plain text.  The JSON form carries
+the same data plus the rule catalogue for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.lint.registry import Violation, all_rules
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(
+    violations: typing.Sequence[Violation], files_checked: int
+) -> str:
+    """One ``file:line rule-id message`` line per violation + summary."""
+    lines = [violation.render() for violation in violations]
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        lines.append(
+            f"{len(violations)} violation"
+            f"{'' if len(violations) == 1 else 's'} "
+            f"in {files_checked} {noun}"
+        )
+    else:
+        lines.append(f"clean: {files_checked} {noun} checked")
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: typing.Sequence[Violation], files_checked: int
+) -> str:
+    """A JSON document with violations, counts, and the rule catalogue."""
+    document = {
+        "files_checked": files_checked,
+        "violation_count": len(violations),
+        "violations": [violation.as_dict() for violation in violations],
+        "rules": {
+            rule.rule_id: {"name": rule.name, "description": rule.description}
+            for rule in all_rules()
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+REPORTERS: typing.Dict[
+    str, typing.Callable[[typing.Sequence[Violation], int], str]
+] = {
+    "text": render_text,
+    "json": render_json,
+}

@@ -1,0 +1,359 @@
+"""The determinism rules, R1–R5.
+
+Each rule protects one part of the contract that makes a seeded run
+replay bit-for-bit (see ``docs/LINTING.md``):
+
+* **R1** — all randomness flows through ``repro.sim.rng.RandomStreams``.
+* **R2** — simulation code never reads the wall clock.
+* **R3** — unordered collections never feed scheduling/flooding/
+  neighbor-selection calls without ``sorted(...)``.
+* **R4** — float simulation times are never compared with ``==``/``!=``.
+* **R5** — no mutable default arguments, no bare ``except:``.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.lint.registry import FileContext, Rule, Violation, register
+
+__all__ = [
+    "ImportTable",
+    "NoDirectRandom",
+    "NoWallClock",
+    "NoUnorderedIteration",
+    "NoFloatTimeEquality",
+    "NoMutableDefaultsOrBareExcept",
+]
+
+
+class ImportTable:
+    """Maps local names to the dotted module paths they were bound from.
+
+    ``import time as t`` binds ``t -> time``; ``from datetime import
+    datetime as dt`` binds ``dt -> datetime.datetime``.  Used to resolve
+    a call like ``dt.now()`` back to ``datetime.datetime.now``.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.bindings: typing.Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else local
+                    self.bindings[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit the stdlib
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> typing.Optional[str]:
+        """Dotted origin of a ``Name``/``Attribute`` chain, if imported."""
+        parts: typing.List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.bindings.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin, *reversed(parts)])
+
+
+def _call_name(node: ast.Call) -> typing.Optional[str]:
+    """The bare name of the function being called (last dotted segment)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class NoDirectRandom(Rule):
+    """R1: every stochastic draw must come from ``RandomStreams``."""
+
+    rule_id = "R1"
+    name = "no-direct-random"
+    description = (
+        "Do not import or call the stdlib `random` module; draw from a "
+        "named `repro.sim.rng.RandomStreams` stream (annotate parameters "
+        "with `RandomStream`).  Only repro/sim/rng.py is exempt."
+    )
+
+    def check(self, context: FileContext) -> typing.Iterator[Violation]:
+        imports = ImportTable(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.violation(
+                            context,
+                            node,
+                            "direct `import random`; use "
+                            "repro.sim.rng.RandomStreams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield self.violation(
+                        context,
+                        node,
+                        "import from the `random` module; use "
+                        "repro.sim.rng.RandomStreams instead",
+                    )
+            elif isinstance(node, ast.Call):
+                origin = imports.resolve(node.func)
+                if origin and origin.split(".")[0] == "random":
+                    yield self.violation(
+                        context,
+                        node,
+                        f"call to `{origin}`; draw from a named "
+                        "RandomStreams stream instead",
+                    )
+
+
+@register
+class NoWallClock(Rule):
+    """R2: simulation code never reads the wall clock."""
+
+    rule_id = "R2"
+    name = "no-wall-clock"
+    description = (
+        "Do not call wall-clock sources (`time.time`, `time.monotonic`, "
+        "`datetime.now`, `datetime.today`, ...).  Simulation time is "
+        "`Simulator.now`; wall time breaks replay."
+    )
+
+    def check(self, context: FileContext) -> typing.Iterator[Violation]:
+        banned = context.config.wall_clock_calls
+        banned_leaves = {name.rsplit(".", 1)[-1] for name in banned}
+        imports = ImportTable(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in ("time", "datetime") and not node.level:
+                    for alias in node.names:
+                        dotted = f"{node.module}.{alias.name}"
+                        if dotted in banned or (
+                            node.module == "datetime"
+                            and alias.name in ("datetime", "date")
+                        ):
+                            continue  # flag the call site, not the import
+                        if alias.name in banned_leaves:
+                            yield self.violation(
+                                context,
+                                node,
+                                f"import of wall-clock source `{dotted}`",
+                            )
+            elif isinstance(node, ast.Call):
+                origin = imports.resolve(node.func)
+                if origin in banned:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"wall-clock read `{origin}()`; use the "
+                        "simulation clock (Simulator.now)",
+                    )
+                elif origin is None and isinstance(node.func, ast.Name):
+                    # `from time import time` binds the leaf name.
+                    dotted = imports.bindings.get(node.func.id)
+                    if dotted in banned:
+                        yield self.violation(
+                            context,
+                            node,
+                            f"wall-clock read `{dotted}()`; use the "
+                            "simulation clock (Simulator.now)",
+                        )
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    """True when iterating *node* has interpreter-dependent order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        if name == "keys" and isinstance(node.func, ast.Attribute):
+            return True
+        if name == "sorted":
+            return False
+        # list(set(...)) / tuple(set(...)) inherit the set's order.
+        if name in ("list", "tuple", "iter", "reversed") and node.args:
+            return _is_unordered(node.args[0])
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_unordered(node.left) or _is_unordered(node.right)
+    return False
+
+
+@register
+class NoUnorderedIteration(Rule):
+    """R3: unordered collections never reach scheduling-order sinks."""
+
+    rule_id = "R3"
+    name = "no-unordered-into-sinks"
+    description = (
+        "Do not pass `set(...)`/`.keys()` results (or loops over them) "
+        "into scheduling, flooding, or neighbor-selection calls without "
+        "an explicit `sorted(...)` — iteration order would leak into "
+        "the event schedule."
+    )
+
+    def check(self, context: FileContext) -> typing.Iterator[Violation]:
+        sinks = context.config.sink_names
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call) and _call_name(node) in sinks:
+                for argument in [*node.args, *node.keywords]:
+                    value = (
+                        argument.value
+                        if isinstance(argument, ast.keyword)
+                        else argument
+                    )
+                    if _is_unordered(value):
+                        yield self.violation(
+                            context,
+                            value,
+                            "unordered collection passed to "
+                            f"`{_call_name(node)}(...)`; wrap it in "
+                            "sorted(...)",
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if not _is_unordered(node.iter):
+                    continue
+                for inner in ast.walk(
+                    ast.Module(body=list(node.body), type_ignores=[])
+                ):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and _call_name(inner) in sinks
+                    ):
+                        yield self.violation(
+                            context,
+                            node.iter,
+                            "loop over an unordered collection reaches "
+                            f"`{_call_name(inner)}(...)`; iterate "
+                            "sorted(...) instead",
+                        )
+                        break
+
+
+def _time_like(node: ast.AST, config: typing.Any) -> typing.Optional[str]:
+    """The identifier that makes *node* look like a sim timestamp."""
+    if isinstance(node, ast.Attribute):
+        identifier = node.attr
+    elif isinstance(node, ast.Name):
+        identifier = node.id
+    else:
+        return None
+    lowered = identifier.lower()
+    if lowered in config.time_exact_names:
+        return identifier
+    if lowered.endswith("time"):
+        # `lifetime`/`mean_lifetime_s` are durations, not timestamps.
+        if lowered.endswith("lifetime"):
+            return None
+        return identifier
+    if any(lowered.endswith(suffix) for suffix in config.time_suffixes):
+        return identifier
+    return None
+
+
+@register
+class NoFloatTimeEquality(Rule):
+    """R4: no exact equality between float simulation times."""
+
+    rule_id = "R4"
+    name = "no-float-time-equality"
+    description = (
+        "Do not compare simulation timestamps with `==`/`!=`; "
+        "accumulated float delays make exact equality fragile.  Use "
+        "`repro.sim.engine.times_equal` (tolerance helper) instead."
+    )
+
+    def check(self, context: FileContext) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, operator in enumerate(node.ops):
+                if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if any(
+                    isinstance(side, ast.Constant)
+                    and not isinstance(side.value, (int, float))
+                    for side in (left, right)
+                ):
+                    continue  # comparisons to None/str are not time math
+                identifier = _time_like(left, context.config) or _time_like(
+                    right, context.config
+                )
+                if identifier:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"`==`/`!=` on simulation time `{identifier}`; "
+                        "use times_equal(a, b) from repro.sim.engine",
+                    )
+
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+)
+
+
+@register
+class NoMutableDefaultsOrBareExcept(Rule):
+    """R5: no mutable default arguments and no bare ``except:``."""
+
+    rule_id = "R5"
+    name = "no-mutable-defaults-or-bare-except"
+    description = (
+        "Mutable default arguments persist state across calls (and so "
+        "across replicates); bare `except:` swallows determinism bugs "
+        "silently.  Default to None, and catch specific exceptions."
+    )
+
+    def check(self, context: FileContext) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                arguments = node.args
+                defaults = [*arguments.defaults, *arguments.kw_defaults]
+                for default in defaults:
+                    if default is None:
+                        continue
+                    if isinstance(
+                        default,
+                        (
+                            ast.List,
+                            ast.Dict,
+                            ast.Set,
+                            ast.ListComp,
+                            ast.DictComp,
+                            ast.SetComp,
+                        ),
+                    ) or (
+                        isinstance(default, ast.Call)
+                        and _call_name(default) in _MUTABLE_CALLS
+                    ):
+                        yield self.violation(
+                            context,
+                            default,
+                            "mutable default argument; default to None "
+                            "and create the value inside the function",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    context,
+                    node,
+                    "bare `except:`; catch specific exception types",
+                )

@@ -33,6 +33,7 @@ __all__ = [
     "Frame",
     "DEFAULT_PACKET_SIZE_BITS",
     "ACK_SIZE_BITS",
+    "reset_id_counters",
 ]
 
 NodeId = str
@@ -97,6 +98,21 @@ def _next_packet_id() -> int:
     global _packet_counter
     _packet_counter += 1
     return _packet_counter
+
+
+def reset_id_counters() -> None:
+    """Restart the packet/frame id sequences from zero.
+
+    Ids are only consumed within one runtime (per-node ack tables,
+    per-router duplicate suppression), but the counters are process
+    globals — without a reset, the *second* seeded run in a process
+    mints different ids than the first and the traces stop being
+    bit-for-bit identical.  :class:`repro.core.runtime.ScenarioRuntime`
+    calls this once per scenario.
+    """
+    global _packet_counter, _frame_counter
+    _packet_counter = 0
+    _frame_counter = 0
 
 
 @dataclasses.dataclass(slots=True)

@@ -8,8 +8,10 @@ and structured tracing.  See :class:`repro.sim.engine.Simulator`.
 from repro.sim.engine import (
     PRIORITY_NORMAL,
     PRIORITY_URGENT,
+    TIME_EPSILON,
     Simulator,
     StopSimulation,
+    times_equal,
 )
 from repro.sim.events import (
     AllOf,
@@ -22,7 +24,7 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process
-from repro.sim.rng import RandomStreams, derive_seed
+from repro.sim.rng import RandomStream, RandomStreams, derive_seed
 from repro.sim.trace import RecordingSink, TraceRecord, Tracer
 
 __all__ = [
@@ -35,13 +37,16 @@ __all__ = [
     "PRIORITY_NORMAL",
     "PRIORITY_URGENT",
     "Process",
+    "RandomStream",
     "RandomStreams",
     "RecordingSink",
     "SimulationError",
     "Simulator",
     "StopSimulation",
+    "TIME_EPSILON",
     "Timeout",
     "TraceRecord",
     "Tracer",
     "derive_seed",
+    "times_equal",
 ]

@@ -31,12 +31,34 @@ from repro.sim.events import (
 )
 from repro.sim.process import Process, ProcessGenerator
 
-__all__ = ["Simulator", "StopSimulation", "PRIORITY_URGENT", "PRIORITY_NORMAL"]
+__all__ = [
+    "Simulator",
+    "StopSimulation",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "TIME_EPSILON",
+    "times_equal",
+]
 
 #: Priority for kernel-internal wakeups that must precede normal events.
 PRIORITY_URGENT = 0
 #: Default priority for all user events.
 PRIORITY_NORMAL = 1
+
+#: Default tolerance for comparing simulation timestamps.  Timestamps are
+#: sums of float delays, so two "simultaneous" events can differ by a few
+#: ulps; direct ``==`` between times is a determinism hazard (and flagged
+#: by ``repro.lint`` rule R4).
+TIME_EPSILON = 1e-9
+
+
+def times_equal(a: float, b: float, tolerance: float = TIME_EPSILON) -> bool:
+    """True if simulation times *a* and *b* agree within *tolerance*.
+
+    Use this instead of ``a == b`` whenever both operands are simulation
+    timestamps (accumulated float delays).
+    """
+    return abs(a - b) <= tolerance
 
 
 class StopSimulation(Exception):

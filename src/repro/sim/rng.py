@@ -22,7 +22,15 @@ import hashlib
 import random
 import typing
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStream", "RandomStreams", "derive_seed"]
+
+#: The generator type handed out by :meth:`RandomStreams.stream`.
+#:
+#: This module is the only place in the package allowed to touch the
+#: stdlib ``random`` module (enforced by ``repro.lint`` rule R1); every
+#: other module annotates stream parameters with this alias instead of
+#: importing ``random`` itself.
+RandomStream = random.Random
 
 
 def derive_seed(master_seed: int, name: str) -> int:

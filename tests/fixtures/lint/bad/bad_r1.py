@@ -1,0 +1,9 @@
+"""R1 true positive: draws randomness straight from the stdlib."""
+
+import random
+
+from random import uniform
+
+
+def jitter() -> float:
+    return random.random() + uniform(0.0, 1.0)

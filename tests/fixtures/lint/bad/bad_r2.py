@@ -1,0 +1,10 @@
+"""R2 true positive: reads the wall clock inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    started = time.time()
+    _ = datetime.now()
+    return started

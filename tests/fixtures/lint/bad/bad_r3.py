@@ -1,0 +1,7 @@
+"""R3 true positive: unordered collections feed the event schedule."""
+
+
+def reschedule(sim, pending, nodes):
+    sim.call_in(1.0, set(pending))
+    for node_id in pending.keys() | set(nodes):
+        sim.broadcast(node_id)

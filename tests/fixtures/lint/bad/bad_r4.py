@@ -1,0 +1,9 @@
+"""R4 true positive: exact equality between float simulation times."""
+
+
+def same_instant(sim, death_time: float) -> bool:
+    return sim.now == death_time
+
+
+def still_pending(event_time: float, now: float) -> bool:
+    return event_time != now

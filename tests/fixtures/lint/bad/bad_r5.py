@@ -1,0 +1,13 @@
+"""R5 true positives: mutable default argument and bare except."""
+
+
+def collect(values=[]):
+    values.append(1)
+    return values
+
+
+def guarded(action):
+    try:
+        return action()
+    except:
+        return None

@@ -1,0 +1,8 @@
+"""R1 true negative: randomness flows through named RandomStreams."""
+
+from repro.sim.rng import RandomStream, RandomStreams
+
+
+def jitter(streams: RandomStreams) -> float:
+    stream: RandomStream = streams.stream("mac-jitter")
+    return stream.uniform(0.0, 1.0)

@@ -1,0 +1,5 @@
+"""R2 true negative: timestamps come from the simulation clock."""
+
+
+def stamp(sim) -> float:
+    return sim.now

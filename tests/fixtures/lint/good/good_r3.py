@@ -1,0 +1,7 @@
+"""R3 true negative: sorted() pins the iteration order at the sinks."""
+
+
+def reschedule(sim, pending, nodes):
+    sim.call_in(1.0, sorted(pending))
+    for node_id in sorted(set(nodes)):
+        sim.broadcast(node_id)

@@ -1,0 +1,7 @@
+"""R4 true negative: time comparisons go through the tolerance helper."""
+
+from repro.sim.engine import times_equal
+
+
+def same_instant(sim, death_time: float) -> bool:
+    return times_equal(sim.now, death_time)

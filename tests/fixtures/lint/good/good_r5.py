@@ -1,0 +1,14 @@
+"""R5 true negatives: None default, specific exception type."""
+
+
+def collect(values=None):
+    if values is None:
+        values = []
+    return values
+
+
+def guarded(action):
+    try:
+        return action()
+    except ValueError:
+        return None

@@ -1,0 +1,351 @@
+"""Unit tests for the determinism linter (repro.lint).
+
+Every rule R1–R5 gets a true-positive and a true-negative case, both as
+inline sources (edge cases) and as the paired good/bad fixture files
+under ``tests/fixtures/lint/`` that CI also runs the CLI against.
+"""
+
+import json
+import pathlib
+import re
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    PARSE_ERROR_ID,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+    rule_ids,
+)
+
+FIXTURES = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "lint"
+
+
+def check(source, path="repro/example.py", config=DEFAULT_CONFIG):
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+def ids(violations):
+    return sorted({violation.rule_id for violation in violations})
+
+
+def test_rule_catalogue_is_r1_to_r5():
+    assert rule_ids() == ["R1", "R2", "R3", "R4", "R5"]
+
+
+# ----------------------------------------------------------------------
+# Fixture files: each bad_rN.py trips exactly rule RN; good files are
+# clean under every rule.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+def test_bad_fixture_trips_its_rule(number):
+    violations = lint_file(str(FIXTURES / "bad" / f"bad_r{number}.py"))
+    assert ids(violations) == [f"R{number}"]
+
+
+@pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+def test_good_fixture_is_clean(number):
+    assert lint_file(str(FIXTURES / "good" / f"good_r{number}.py")) == []
+
+
+# ----------------------------------------------------------------------
+# R1 — no direct random
+# ----------------------------------------------------------------------
+def test_r1_flags_aliased_import_and_call():
+    violations = check(
+        """
+        import random as rnd
+
+        value = rnd.uniform(0.0, 1.0)
+        """
+    )
+    assert ids(violations) == ["R1"]
+    assert len(violations) == 2  # the import and the call
+
+
+def test_r1_flags_bare_random_random_instantiation():
+    violations = check(
+        """
+        import random
+
+        rng = random.Random(7)
+        """
+    )
+    assert any("random.Random" in v.message for v in violations)
+
+
+def test_r1_exempts_the_rng_module_itself():
+    source = """
+        import random
+
+        rng = random.Random(0)
+        """
+    assert check(source, path="src/repro/sim/rng.py") == []
+    assert ids(check(source, path="src/repro/net/node.py")) == ["R1"]
+
+
+def test_r1_allows_randomstream_annotations():
+    assert (
+        check(
+            """
+            from repro.sim.rng import RandomStream
+
+            def draw(rng: RandomStream) -> float:
+                return rng.uniform(0.0, 1.0)
+            """
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# R2 — no wall clock
+# ----------------------------------------------------------------------
+def test_r2_flags_from_import_leaf_call():
+    violations = check(
+        """
+        from time import monotonic
+
+        def elapsed():
+            return monotonic()
+        """
+    )
+    assert "R2" in ids(violations)
+
+
+def test_r2_flags_datetime_today_and_now():
+    violations = check(
+        """
+        import datetime
+
+        a = datetime.datetime.now()
+        b = datetime.date.today()
+        """
+    )
+    assert [v.rule_id for v in violations] == ["R2", "R2"]
+
+
+def test_r2_allows_simulation_clock_and_sleep():
+    assert (
+        check(
+            """
+            import time
+
+            def pace(sim):
+                time.sleep(0.0)  # not a clock *read*
+                return sim.now
+            """
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# R3 — unordered iteration into sinks
+# ----------------------------------------------------------------------
+def test_r3_flags_set_keyword_argument_to_sink():
+    violations = check(
+        """
+        def go(sim, items):
+            sim.schedule(targets=set(items))
+        """
+    )
+    assert ids(violations) == ["R3"]
+
+
+def test_r3_sees_through_list_of_set():
+    violations = check(
+        """
+        def go(sim, items):
+            sim.call_at(5.0, list(set(items)))
+        """
+    )
+    assert ids(violations) == ["R3"]
+
+
+def test_r3_ignores_sorted_and_non_sink_calls():
+    assert (
+        check(
+            """
+            def go(sim, items, table):
+                sim.call_in(1.0, sorted(set(items)))
+                total = sum(set(items))  # not a scheduling sink
+                for key in table.keys():
+                    total += key  # loop never reaches a sink
+                return total
+            """
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# R4 — float time equality
+# ----------------------------------------------------------------------
+def test_r4_flags_now_attribute_equality():
+    violations = check(
+        """
+        def due(sim, death_time):
+            return sim.now == death_time
+        """
+    )
+    assert ids(violations) == ["R4"]
+
+
+def test_r4_ignores_none_durations_and_plain_floats():
+    assert (
+        check(
+            """
+            def ok(sim, lifetime, loss_rate, start_time):
+                if start_time is None or loss_rate == 0.0:
+                    return lifetime == 16_000.0
+                return start_time != None  # noqa: E711 - None comparison
+            """
+        )
+        == []
+    )
+
+
+def test_r4_tolerance_helper_behaviour():
+    from repro.sim.engine import TIME_EPSILON, times_equal
+
+    assert times_equal(1.0, 1.0 + TIME_EPSILON / 2)
+    assert not times_equal(1.0, 1.0 + 1e-6)
+
+
+# ----------------------------------------------------------------------
+# R5 — mutable defaults / bare except
+# ----------------------------------------------------------------------
+def test_r5_flags_dict_call_default_and_kwonly_default():
+    violations = check(
+        """
+        def configure(options=dict(), *, tags=[]):
+            return options, tags
+        """
+    )
+    assert [v.rule_id for v in violations] == ["R5", "R5"]
+
+
+def test_r5_allows_immutable_defaults():
+    assert (
+        check(
+            """
+            def configure(options=None, tags=(), name="x"):
+                return options, tags, name
+            """
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# Suppressions and parse errors
+# ----------------------------------------------------------------------
+def test_inline_suppression_silences_only_that_line():
+    source = """
+        import random  # simlint: disable=R1
+
+        rng = random.Random(7)
+        """
+    violations = check(source)
+    assert [v.rule_id for v in violations] == ["R1"]
+    assert violations[0].line == 4
+
+
+def test_file_level_suppression_and_disable_all():
+    assert (
+        check(
+            """
+            # simlint: disable-file=R1
+            import random
+
+            try:
+                value = random.random()
+            except:  # simlint: disable=all
+                value = 0.0
+            """
+        )
+        == []
+    )
+
+
+def test_suppression_comment_inside_string_is_inert():
+    violations = check(
+        '''
+        import random
+
+        NOTE = """# simlint: disable-file=R1"""
+        '''
+    )
+    assert ids(violations) == ["R1"]
+
+
+def test_syntax_error_reports_parse_pseudo_rule():
+    violations = check("def broken(:\n")
+    assert [v.rule_id for v in violations] == [PARSE_ERROR_ID]
+
+
+def test_select_restricts_rules():
+    source = """
+        import random
+
+        def f(values=[]):
+            return values
+        """
+    config = DEFAULT_CONFIG.replace(select=("R5",))
+    assert ids(check(source, config=config)) == ["R5"]
+
+
+# ----------------------------------------------------------------------
+# Engine path handling and the CLI
+# ----------------------------------------------------------------------
+def test_lint_paths_counts_files():
+    violations, checked = lint_paths([str(FIXTURES / "good")])
+    assert violations == []
+    assert checked == 5
+
+
+def test_cli_exits_nonzero_with_file_line_rule_output(capsys):
+    exit_code = main([str(FIXTURES / "bad")])
+    output = capsys.readouterr().out
+    assert exit_code == 1
+    finding_lines = output.strip().splitlines()[:-1]  # drop the summary
+    assert finding_lines, "expected at least one violation line"
+    pattern = re.compile(r"^\S+/bad_r\d\.py:\d+ R\d .+")
+    assert all(pattern.match(line) for line in finding_lines)
+    assert {line.split()[1] for line in finding_lines} == {
+        "R1",
+        "R2",
+        "R3",
+        "R4",
+        "R5",
+    }
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert main([str(FIXTURES / "good")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_json_format_round_trips(capsys):
+    exit_code = main(["--format", "json", str(FIXTURES / "bad")])
+    document = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert document["violation_count"] == len(document["violations"])
+    assert set(document["rules"]) == {"R1", "R2", "R3", "R4", "R5"}
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        assert rule_id in output
+
+
+def test_cli_rejects_unknown_rule_and_missing_path(capsys):
+    assert main(["--select", "R9", str(FIXTURES / "good")]) == 2
+    assert main(["tests/fixtures/no-such-dir"]) == 2
