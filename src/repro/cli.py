@@ -4,17 +4,25 @@ Usage (also available as ``python -m repro``)::
 
     repro-sim run --algorithm dynamic --robots 9 --sim-time 16000
     repro-sim compare --robots 9 --seed 7
-    repro-sim figure 2 --seeds 1 2 --sim-time 32000
+    repro-sim figure 2 --seeds 1 2 --sim-time 32000 --store --jobs 4
+    repro-sim store ls
     repro-sim params
     repro-sim lint src/
 
 Every command prints plain text tables; ``run`` can additionally write
 an SVG snapshot of the final field state.
+
+``figure``, ``compare`` and ``ablate`` accept ``--store [PATH]`` to
+cache finished runs in a content-addressed store (``--no-store``
+disables it, ``REPRO_STORE`` enables it by default) and ``--jobs N`` to
+fan fresh runs out over N worker processes.  ``store ls|info|gc|verify``
+inspects and maintains the store itself.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import typing
 
@@ -38,7 +46,10 @@ from repro.experiments.figures import (
     figure4_update_transmissions,
 )
 from repro.experiments.render import render_table
+from repro.experiments.runner import run_many
 from repro.sim.trace import RecordingSink, Tracer
+from repro.store import ENV_VAR as STORE_ENV_VAR
+from repro.store import RunStore
 
 __all__ = ["main", "build_parser"]
 
@@ -90,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run all three algorithms on one deployment"
     )
     _add_scenario_arguments(compare, with_algorithm=False)
+    _add_cache_arguments(compare)
 
     figure = commands.add_parser(
         "figure", help="regenerate one of the paper's figures"
@@ -122,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the figure as an SVG line chart",
     )
+    _add_cache_arguments(figure)
 
     ablate = commands.add_parser(
         "ablate", help="run one of the ablation studies"
@@ -135,6 +148,37 @@ def build_parser() -> argparse.ArgumentParser:
     ablate.add_argument("--seed", type=int, default=1)
     ablate.add_argument(
         "--sim-time", type=float, default=16_000.0, help="horizon (s)"
+    )
+    _add_cache_arguments(ablate)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect and maintain the content-addressed run store",
+    )
+    store.add_argument(
+        "action",
+        choices=("ls", "info", "gc", "verify"),
+        help=(
+            "ls: list entries; info: show one entry's manifest and "
+            "report; gc: drop temp files and stale-schema entries; "
+            "verify: re-validate every entry's checksum"
+        ),
+    )
+    store.add_argument(
+        "digest",
+        nargs="?",
+        default=None,
+        help="entry digest (prefix accepted) — required for `info`",
+    )
+    store.add_argument(
+        "--store",
+        dest="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "store directory (default: $REPRO_STORE or "
+            "~/.cache/repro-sim)"
+        ),
     )
 
     commands.add_parser(
@@ -206,6 +250,61 @@ def _add_scenario_arguments(
     )
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--store/--no-store/--jobs`` for the sweep-backed commands."""
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache finished runs in a content-addressed store; with no "
+            "PATH, uses $REPRO_STORE or ~/.cache/repro-sim"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="never consult the store, even when $REPRO_STORE is set",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run uncached simulations over N worker processes "
+            "(default: serial)"
+        ),
+    )
+
+
+def _resolve_store(args: argparse.Namespace) -> typing.Optional[RunStore]:
+    """The store the command should use, or ``None`` when disabled.
+
+    Precedence: ``--no-store`` wins; then an explicit ``--store``
+    (optionally with a path); then the ``REPRO_STORE`` environment
+    variable opts the default store in.
+    """
+    if getattr(args, "no_store", False):
+        return None
+    if args.store is not None:
+        return RunStore(args.store or None)
+    if os.environ.get(STORE_ENV_VAR):
+        return RunStore()
+    return None
+
+
+def _cache_note(cache: typing.Any, store: typing.Optional[RunStore]) -> None:
+    if store is not None:
+        print(
+            f"store: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"[{store.root}]",
+            file=sys.stderr,
+        )
+
+
 def _config_from_args(args: argparse.Namespace, algorithm: str):
     return paper_scenario(
         algorithm,
@@ -273,21 +372,29 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    rows = []
-    for algorithm in Algorithm.ALL:
-        config = _config_from_args(args, algorithm)
-        print(f"running {algorithm} ...", file=sys.stderr)
-        report = ScenarioRuntime(config).run()
-        rows.append(
-            [
-                algorithm,
-                report.failures,
-                report.repaired,
-                report.mean_travel_distance,
-                report.mean_report_hops,
-                report.update_transmissions_per_failure,
-            ]
-        )
+    store = _resolve_store(args)
+    configs = [
+        _config_from_args(args, algorithm) for algorithm in Algorithm.ALL
+    ]
+    reports, cache = run_many(
+        configs,
+        parallel=bool(args.jobs and args.jobs > 1),
+        max_workers=args.jobs,
+        store=store,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    rows = [
+        [
+            algorithm,
+            report.failures,
+            report.repaired,
+            report.mean_travel_distance,
+            report.mean_report_hops,
+            report.update_transmissions_per_failure,
+        ]
+        for algorithm, report in zip(Algorithm.ALL, reports)
+    ]
+    _cache_note(cache, store)
     print(
         render_table(
             [
@@ -308,13 +415,17 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _command_figure(args: argparse.Namespace) -> int:
     generator = _FIGURES[args.number]
+    store = _resolve_store(args)
     figure = generator(
         robot_counts=tuple(args.robots),
         seeds=tuple(args.seeds),
-        parallel=False,
+        parallel=bool(args.jobs and args.jobs > 1),
+        store=store,
+        max_workers=args.jobs,
         sim_time_s=args.sim_time,
         robot_speed_mps=args.speed,
     )
+    _cache_note(figure.sweep_result.cache, store)
     print(figure.render())
     if args.svg:
         from repro.viz import figure_to_svg
@@ -334,20 +445,108 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 def _command_ablate(args: argparse.Namespace) -> int:
     study = _ABLATIONS[args.study]
+    store = _resolve_store(args)
     if args.study == "partition":  # multi-seed signature
         result = study(
             robot_count=args.robots,
             seeds=(args.seed,),
+            store=store,
+            max_workers=args.jobs,
             sim_time_s=args.sim_time,
         )
     else:
         result = study(
             robot_count=args.robots,
             seed=args.seed,
+            store=store,
+            max_workers=args.jobs,
             sim_time_s=args.sim_time,
         )
     print(result.table())
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    if args.action == "ls":
+        rows = []
+        for entry in store.entries():
+            manifest = entry.manifest
+            rows.append(
+                [
+                    entry.digest[:12],
+                    entry.config.algorithm,
+                    entry.config.robot_count,
+                    entry.config.seed,
+                    entry.schema,
+                    manifest.get("duration_s", float("nan")),
+                    manifest.get("package_version", "?"),
+                ]
+            )
+        print(
+            render_table(
+                [
+                    "digest",
+                    "algorithm",
+                    "robots",
+                    "seed",
+                    "schema",
+                    "duration s",
+                    "version",
+                ],
+                rows,
+                title=f"{len(rows)} entr(y/ies) in {store.root}",
+            )
+        )
+        for path, reason in store.quarantined:
+            print(f"quarantined: {path} ({reason})", file=sys.stderr)
+        return 0
+    if args.action == "info":
+        if not args.digest:
+            print("store info: a digest (prefix) is required", file=sys.stderr)
+            return 2
+        matches = store.resolve_prefix(args.digest)
+        if len(matches) != 1:
+            print(
+                f"store info: {args.digest!r} matches "
+                f"{len(matches)} entries",
+                file=sys.stderr,
+            )
+            return 2
+        entry = store.load(matches[0])
+        if entry is None:
+            print(
+                f"store info: entry {matches[0][:12]} failed validation "
+                "and was quarantined",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"digest:  {entry.digest}")
+        print(f"path:    {store.object_path(entry.digest)}")
+        for key in sorted(entry.manifest):
+            print(f"{key}: {entry.manifest[key]}")
+        print()
+        for line in entry.report.summary_lines():
+            print(" ", line)
+        return 0
+    if args.action == "gc":
+        outcome = store.gc()
+        print(
+            f"gc {store.root}: kept {outcome.kept}, removed "
+            f"{outcome.removed_stale} stale entr(y/ies) and "
+            f"{outcome.removed_tmp} temp file(s), quarantined "
+            f"{outcome.quarantined}"
+        )
+        return 0
+    # verify
+    outcome = store.verify()
+    print(
+        f"verify {store.root}: {outcome.ok}/{outcome.checked} ok, "
+        f"{len(outcome.stale)} stale, {len(outcome.corrupt)} corrupt"
+    )
+    for path, reason in outcome.corrupt:
+        print(f"corrupt: {path} ({reason})", file=sys.stderr)
+    return 0 if outcome.passed else 1
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -390,6 +589,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "figure": _command_figure,
         "ablate": _command_ablate,
+        "store": _command_store,
         "params": _command_params,
         "lint": _command_lint,
     }

@@ -243,6 +243,49 @@ class ScenarioConfig:
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
+    # ------------------------------------------------------------------
+    # Canonical serialization (the repro.store digest preimage)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        """All fields as a JSON-native dict, in declaration order.
+
+        ``float``-typed fields are normalised to floats so a config
+        built with ``sim_time_s=16_000`` serialises — and therefore
+        content-hashes — identically to one built with ``16_000.0``.
+        """
+        data: typing.Dict[str, typing.Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if (
+                value is not None
+                and not isinstance(value, bool)
+                and isinstance(value, int)
+                and "float" in str(field.type)
+            ):
+                value = float(value)
+            data[field.name] = value
+        return data
+
+    @classmethod
+    def from_json_dict(
+        cls, data: typing.Mapping[str, typing.Any]
+    ) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_json_dict` output.
+
+        Raises
+        ------
+        ValueError
+            For unknown fields (a config serialised by a different
+            schema must not silently round-trip).
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioConfig fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         return (

@@ -16,14 +16,18 @@ from repro.experiments.figures import (
 )
 from repro.experiments.render import render_series_table, render_table
 from repro.experiments.runner import (
+    CacheStats,
     SweepPoint,
     SweepResult,
     run_config,
+    run_config_timed,
+    run_many,
     sweep,
 )
 
 __all__ = [
     "AblationResult",
+    "CacheStats",
     "ClaimCheck",
     "FigureResult",
     "SweepPoint",
@@ -38,5 +42,7 @@ __all__ = [
     "render_series_table",
     "render_table",
     "run_config",
+    "run_config_timed",
+    "run_many",
     "sweep",
 ]

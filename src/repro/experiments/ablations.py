@@ -4,6 +4,11 @@ The benchmark suite prints these; the functions live here so library
 users can run the same studies and get structured results back.  Each
 returns an :class:`AblationResult` with one labelled
 :class:`~repro.metrics.RunReport` (or metric dict) per variant.
+
+Every study executes through :func:`~repro.experiments.runner.run_many`,
+so an optional :class:`~repro.store.RunStore` serves previously computed
+variants from disk, and ``max_workers`` fans fresh variants out over a
+process pool.
 """
 
 from __future__ import annotations
@@ -15,11 +20,15 @@ from repro.deploy.scenario import (
     Algorithm,
     DispatchPolicy,
     PartitionStyle,
+    ScenarioConfig,
     paper_scenario,
 )
 from repro.experiments.render import render_table
-from repro.experiments.runner import run_config
+from repro.experiments.runner import run_many
 from repro.metrics.collector import RunReport
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.store.store import RunStore
 
 __all__ = [
     "AblationResult",
@@ -54,28 +63,47 @@ class AblationResult:
         return getattr(self.variants[label], metric)
 
 
+def _run_variants(
+    configs: typing.Sequence[ScenarioConfig],
+    store: typing.Optional["RunStore"],
+    max_workers: typing.Optional[int],
+) -> typing.List[RunReport]:
+    """Execute a study's configs (parallel only when asked via --jobs)."""
+    reports, _cache = run_many(
+        configs,
+        parallel=max_workers is not None and max_workers > 1,
+        max_workers=max_workers,
+        store=store,
+    )
+    return reports
+
+
 def partition_ablation(
     robot_count: int = 9,
     seeds: typing.Sequence[int] = (1,),
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> AblationResult:
     """Square vs staggered subarea shape for the fixed algorithm
     (paper §4.3.1: "negligible difference")."""
+    styles = (PartitionStyle.SQUARE, PartitionStyle.STAGGERED)
+    configs = [
+        paper_scenario(
+            Algorithm.FIXED,
+            robot_count,
+            seed=seed,
+            partition=style,
+            **overrides,
+        )
+        for style in styles
+        for seed in seeds
+    ]
+    reports = _run_variants(configs, store, max_workers)
     variants = {}
-    for style in (PartitionStyle.SQUARE, PartitionStyle.STAGGERED):
-        reports = [
-            run_config(
-                paper_scenario(
-                    Algorithm.FIXED,
-                    robot_count,
-                    seed=seed,
-                    partition=style,
-                    **overrides,
-                )
-            )
-            for seed in seeds
-        ]
-        variants[style] = _mean_report(reports)
+    for position, style in enumerate(styles):
+        cell = reports[position * len(seeds):(position + 1) * len(seeds)]
+        variants[style] = _mean_report(cell)
     return AblationResult(
         name="fixed-algorithm partition shape",
         variants=variants,
@@ -92,20 +120,25 @@ def update_threshold_ablation(
     algorithm: str = Algorithm.DYNAMIC,
     robot_count: int = 9,
     seed: int = 1,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> AblationResult:
     """Location-update threshold sweep (paper §4.2 uses 20 m)."""
-    variants = {
-        f"{threshold:g} m": run_config(
-            paper_scenario(
-                algorithm,
-                robot_count,
-                seed=seed,
-                update_threshold_m=threshold,
-                **overrides,
-            )
+    configs = [
+        paper_scenario(
+            algorithm,
+            robot_count,
+            seed=seed,
+            update_threshold_m=threshold,
+            **overrides,
         )
         for threshold in thresholds
+    ]
+    reports = _run_variants(configs, store, max_workers)
+    variants = {
+        f"{threshold:g} m": report
+        for threshold, report in zip(thresholds, reports)
     }
     return AblationResult(
         name="robot location-update threshold",
@@ -121,22 +154,24 @@ def update_threshold_ablation(
 def dispatch_policy_ablation(
     robot_count: int = 9,
     seed: int = 1,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> AblationResult:
     """Closest (paper) vs load-aware dispatch in the centralized
     algorithm."""
-    variants = {
-        policy: run_config(
-            paper_scenario(
-                Algorithm.CENTRALIZED,
-                robot_count,
-                seed=seed,
-                dispatch_policy=policy,
-                **overrides,
-            )
+    configs = [
+        paper_scenario(
+            Algorithm.CENTRALIZED,
+            robot_count,
+            seed=seed,
+            dispatch_policy=policy,
+            **overrides,
         )
         for policy in DispatchPolicy.ALL
-    }
+    ]
+    reports = _run_variants(configs, store, max_workers)
+    variants = dict(zip(DispatchPolicy.ALL, reports))
     return AblationResult(
         name="central-manager dispatch policy",
         variants=variants,
@@ -155,23 +190,32 @@ def efficient_broadcast_ablation(
     ),
     robot_count: int = 9,
     seed: int = 1,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> AblationResult:
     """Flood-everyone vs connected-dominating-set relays (paper future
     work)."""
-    variants = {}
-    for algorithm in algorithms:
-        for efficient in (False, True):
-            label = f"{algorithm}/{'cds' if efficient else 'all'}"
-            variants[label] = run_config(
-                paper_scenario(
-                    algorithm,
-                    robot_count,
-                    seed=seed,
-                    efficient_broadcast=efficient,
-                    **overrides,
-                )
-            )
+    cells = [
+        (algorithm, efficient)
+        for algorithm in algorithms
+        for efficient in (False, True)
+    ]
+    configs = [
+        paper_scenario(
+            algorithm,
+            robot_count,
+            seed=seed,
+            efficient_broadcast=efficient,
+            **overrides,
+        )
+        for algorithm, efficient in cells
+    ]
+    reports = _run_variants(configs, store, max_workers)
+    variants = {
+        f"{algorithm}/{'cds' if efficient else 'all'}": report
+        for (algorithm, efficient), report in zip(cells, reports)
+    }
     return AblationResult(
         name="efficient (dominating-set) broadcast",
         variants=variants,

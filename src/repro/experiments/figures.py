@@ -20,6 +20,9 @@ from repro.deploy.scenario import Algorithm, PAPER_ROBOT_COUNTS
 from repro.experiments.render import render_series_table
 from repro.experiments.runner import SweepResult, sweep
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.store.store import RunStore
+
 __all__ = [
     "ClaimCheck",
     "FigureResult",
@@ -77,6 +80,8 @@ def figure2_motion_overhead(
     seeds: typing.Sequence[int] = (1, 2),
     parallel: bool = True,
     sweep_result: typing.Optional[SweepResult] = None,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> FigureResult:
     """Figure 2: average robot traveling distance per failure.
@@ -86,7 +91,13 @@ def figure2_motion_overhead(
     versus fixed at 16 robots (we assert a 3–25 % band).
     """
     result = sweep_result if sweep_result is not None else sweep(
-        _ALGORITHMS, robot_counts, seeds, parallel=parallel, **overrides
+        _ALGORITHMS,
+        robot_counts,
+        seeds,
+        parallel=parallel,
+        store=store,
+        max_workers=max_workers,
+        **overrides,
     )
     series = {
         algorithm: tuple(
@@ -145,6 +156,8 @@ def figure3_hops(
     seeds: typing.Sequence[int] = (1, 2),
     parallel: bool = True,
     sweep_result: typing.Optional[SweepResult] = None,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> FigureResult:
     """Figure 3: average message-passing hops per failure.
@@ -155,7 +168,13 @@ def figure3_hops(
     than its requests (sensor vs robot radio range).
     """
     result = sweep_result if sweep_result is not None else sweep(
-        _ALGORITHMS, robot_counts, seeds, parallel=parallel, **overrides
+        _ALGORITHMS,
+        robot_counts,
+        seeds,
+        parallel=parallel,
+        store=store,
+        max_workers=max_workers,
+        **overrides,
     )
     series = {
         "centralized: failure report": tuple(
@@ -225,6 +244,8 @@ def figure4_update_transmissions(
     seeds: typing.Sequence[int] = (1, 2),
     parallel: bool = True,
     sweep_result: typing.Optional[SweepResult] = None,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> FigureResult:
     """Figure 4: transmissions for robot location updates per failure.
@@ -235,7 +256,13 @@ def figure4_update_transmissions(
     one (its relay scope crosses subarea boundaries).
     """
     result = sweep_result if sweep_result is not None else sweep(
-        _ALGORITHMS, robot_counts, seeds, parallel=parallel, **overrides
+        _ALGORITHMS,
+        robot_counts,
+        seeds,
+        parallel=parallel,
+        store=store,
+        max_workers=max_workers,
+        **overrides,
     )
     series = {
         algorithm: tuple(

@@ -5,6 +5,13 @@ robots (4, 9, 16) for each algorithm.  :func:`sweep` runs the cross
 product of algorithms × robot counts × seeds and returns every
 :class:`~repro.metrics.RunReport`, optionally in parallel across
 processes (each run is an independent, deterministic simulation).
+
+When a :class:`~repro.store.RunStore` is supplied, the grid is first
+partitioned into cache **hits** (loaded from disk, zero simulation) and
+**misses** (fanned out to the process pool, then persisted as each run
+finishes).  Because every completed run is written before the next one
+is awaited, an interrupted sweep resumes for free: rerunning it only
+executes the missing cells.
 """
 
 from __future__ import annotations
@@ -17,8 +24,20 @@ from repro.core.runtime import ScenarioRuntime
 from repro.deploy.scenario import ScenarioConfig, paper_scenario
 from repro.metrics.aggregate import SummaryStats, summarize
 from repro.metrics.collector import RunReport
+from repro.store.provenance import perf_clock
 
-__all__ = ["SweepPoint", "SweepResult", "run_config", "sweep"]
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.store.store import RunStore
+
+__all__ = [
+    "CacheStats",
+    "SweepPoint",
+    "SweepResult",
+    "run_config",
+    "run_config_timed",
+    "run_many",
+    "sweep",
+]
 
 
 def run_config(config: ScenarioConfig) -> RunReport:
@@ -27,6 +46,93 @@ def run_config(config: ScenarioConfig) -> RunReport:
     Module-level so it can cross a process boundary.
     """
     return ScenarioRuntime(config).run()
+
+
+def run_config_timed(
+    config: ScenarioConfig,
+) -> typing.Tuple[RunReport, float]:
+    """:func:`run_config` plus the measured wall-clock duration.
+
+    The duration is provenance for store manifests only — it never
+    feeds back into the simulation (which runs purely on virtual time).
+    """
+    started = perf_clock()
+    report = run_config(config)
+    return report, perf_clock() - started
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CacheStats:
+    """How a batch of runs split between store hits and executions."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of runs served from the store (0.0 when empty)."""
+        return self.hits / self.total if self.total else 0.0
+
+
+def run_many(
+    configs: typing.Sequence[ScenarioConfig],
+    parallel: bool = True,
+    max_workers: typing.Optional[int] = None,
+    store: typing.Optional["RunStore"] = None,
+    progress: typing.Optional[typing.Callable[[str], None]] = None,
+) -> typing.Tuple[typing.List[RunReport], CacheStats]:
+    """Run *configs*, consulting and feeding *store* when given.
+
+    Returns the reports in the same order as *configs*, plus the
+    hit/miss split.  Misses are persisted one by one as they complete,
+    so a killed batch leaves everything already finished reusable.
+    """
+    reports: typing.Dict[int, RunReport] = {}
+    misses: typing.List[typing.Tuple[int, ScenarioConfig]] = []
+    hits = 0
+    for index, config in enumerate(configs):
+        cached = store.get(config) if store is not None else None
+        if cached is not None:
+            reports[index] = cached
+            hits += 1
+            if progress is not None:
+                progress(f"cached: {config.describe()}")
+        else:
+            misses.append((index, config))
+
+    if max_workers is not None and max_workers < 2:
+        parallel = False
+    if parallel and len(misses) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = {
+                pool.submit(run_config_timed, config): (index, config)
+                for index, config in misses
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index, config = futures[future]
+                report, duration = future.result()
+                if store is not None:
+                    store.put(config, report, duration_s=duration)
+                reports[index] = report
+                if progress is not None:
+                    progress(f"done: {config.describe()}")
+    else:
+        for index, config in misses:
+            report, duration = run_config_timed(config)
+            if store is not None:
+                store.put(config, report, duration_s=duration)
+            reports[index] = report
+            if progress is not None:
+                progress(f"done: {config.describe()}")
+
+    ordered = [reports[index] for index in range(len(configs))]
+    return ordered, CacheStats(hits=hits, misses=len(misses))
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -53,6 +159,8 @@ class SweepResult:
     """All grid points of one sweep."""
 
     points: typing.Tuple[SweepPoint, ...]
+    #: Store hit/miss split of the sweep (all misses when no store).
+    cache: CacheStats = CacheStats()
 
     def point(self, algorithm: str, robot_count: int) -> SweepPoint:
         """The grid point for (*algorithm*, *robot_count*)."""
@@ -95,6 +203,8 @@ def sweep(
     seeds: typing.Sequence[int] = (1,),
     parallel: bool = True,
     progress: typing.Optional[typing.Callable[[str], None]] = None,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
     **overrides: typing.Any,
 ) -> SweepResult:
     """Run every (algorithm, robot_count, seed) combination.
@@ -108,7 +218,14 @@ def sweep(
         Fan runs out over a process pool (runs are independent).
     progress:
         Optional callback invoked with a human-readable line as each run
-        finishes.
+        finishes (or is served from the store).
+    store:
+        Optional :class:`~repro.store.RunStore`.  Cached cells are
+        loaded without simulating; executed cells are persisted as they
+        complete, making interrupted sweeps resumable.
+    max_workers:
+        Process-pool width for the parallel path (``None`` lets the
+        executor pick; ``1`` forces serial execution).
     """
     configs: typing.List[ScenarioConfig] = []
     for algorithm in algorithms:
@@ -120,38 +237,32 @@ def sweep(
                     )
                 )
 
-    reports: typing.Dict[ScenarioConfig, RunReport] = {}
-    if parallel and len(configs) > 1:
-        with concurrent.futures.ProcessPoolExecutor() as pool:
-            futures = {
-                pool.submit(run_config, config): config
-                for config in configs
-            }
-            for future in concurrent.futures.as_completed(futures):
-                config = futures[future]
-                reports[config] = future.result()
-                if progress is not None:
-                    progress(f"done: {config.describe()}")
-    else:
-        for config in configs:
-            reports[config] = run_config(config)
-            if progress is not None:
-                progress(f"done: {config.describe()}")
+    ordered, cache = run_many(
+        configs,
+        parallel=parallel,
+        max_workers=max_workers,
+        store=store,
+        progress=progress,
+    )
 
-    points: typing.List[SweepPoint] = []
-    for algorithm in algorithms:
-        for robot_count in robot_counts:
-            cell = tuple(
-                reports[config]
-                for config in configs
-                if config.algorithm == algorithm
-                and config.robot_count == robot_count
-            )
-            points.append(
-                SweepPoint(
-                    algorithm=algorithm,
-                    robot_count=robot_count,
-                    reports=cell,
-                )
-            )
-    return SweepResult(points=tuple(points))
+    # Group reports in one pass keyed on (algorithm, robot_count); the
+    # grid is rebuilt in sweep order below, so a full rescan per cell
+    # (O(grid²)) is never needed.
+    groups: typing.Dict[
+        typing.Tuple[str, int], typing.List[RunReport]
+    ] = {}
+    for config, report in zip(configs, ordered):
+        groups.setdefault(
+            (config.algorithm, config.robot_count), []
+        ).append(report)
+
+    points = [
+        SweepPoint(
+            algorithm=algorithm,
+            robot_count=robot_count,
+            reports=tuple(groups.get((algorithm, robot_count), ())),
+        )
+        for algorithm in algorithms
+        for robot_count in robot_counts
+    ]
+    return SweepResult(points=tuple(points), cache=cache)

@@ -30,6 +30,29 @@ class SummaryStats:
     def __str__(self) -> str:
         return f"{self.mean:.2f} ± {self.ci95_halfwidth:.2f} (n={self.count})"
 
+    # ------------------------------------------------------------------
+    # Versioned JSON serialization (repro.store / bench results)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        """All fields as a JSON-native dict."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, data: typing.Mapping[str, typing.Any]
+    ) -> "SummaryStats":
+        """Rebuild summary statistics from :meth:`to_json_dict` output."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SummaryStats fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
+
 
 def summarize(values: typing.Sequence[float]) -> SummaryStats:
     """Summary statistics of *values*, ignoring NaNs.

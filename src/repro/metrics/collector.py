@@ -56,6 +56,34 @@ class FailureRecord:
             return None
         return self.replace_time - self.death_time
 
+    # ------------------------------------------------------------------
+    # Versioned JSON serialization (repro.store)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        """All fields as a JSON-native dict (``position`` as ``[x, y]``)."""
+        data = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+        data["position"] = [self.position.x, self.position.y]
+        return data
+
+    @classmethod
+    def from_json_dict(
+        cls, data: typing.Mapping[str, typing.Any]
+    ) -> "FailureRecord":
+        """Rebuild a record from :meth:`to_json_dict` output."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FailureRecord fields: {', '.join(unknown)}"
+            )
+        fields = dict(data)
+        x, y = fields["position"]
+        fields["position"] = Point(float(x), float(y))
+        return cls(**fields)
+
 
 class MetricsCollector:
     """Accumulates :class:`FailureRecord` entries during a run.
@@ -240,6 +268,34 @@ class RunReport:
             f"{self.update_transmissions_per_failure:.1f}",
             f"report delivery ratio: {self.report_delivery_ratio:.3f}",
         ]
+
+    # ------------------------------------------------------------------
+    # Versioned JSON serialization (repro.store)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        """All fields as a JSON-native dict.
+
+        Every field is already JSON-native (numbers, strings, and plain
+        dicts); ``NaN`` metrics survive the round trip through Python's
+        JSON codec, which reads and writes the ``NaN`` literal.
+        """
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, data: typing.Mapping[str, typing.Any]
+    ) -> "RunReport":
+        """Rebuild a report from :meth:`to_json_dict` output."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RunReport fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 def _mean(values: typing.Sequence[float]) -> float:

@@ -1,0 +1,38 @@
+"""Wall-clock and host provenance for store manifests.
+
+The determinism linter's R2 bans wall-clock reads because they must
+never influence a *simulation*.  Store manifests, however, exist to
+record when and where a run was produced — provenance that lives outside
+the simulated world and never feeds back into it.  Every wall-clock read
+in the package is concentrated here, each explicitly suppressed, so the
+rest of the tree (including the store itself) stays R2-clean by
+construction.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+import typing
+
+__all__ = ["host_info", "perf_clock", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """Seconds since the Unix epoch (manifest ``created_unix`` field)."""
+    return time.time()  # simlint: disable=R2
+
+
+def perf_clock() -> float:
+    """Monotonic counter for measuring run durations (manifests only)."""
+    return time.perf_counter()  # simlint: disable=R2
+
+
+def host_info() -> typing.Dict[str, str]:
+    """Where a run was produced: hostname, platform, interpreter."""
+    return {
+        "hostname": platform.node(),
+        "platform": sys.platform,
+        "python": platform.python_version(),
+    }

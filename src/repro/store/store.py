@@ -1,0 +1,286 @@
+"""The on-disk run-result store.
+
+Directory layout (see ``docs/STORE.md``)::
+
+    <root>/
+      objects/<aa>/<digest>.json   # aa = first two hex chars (shard)
+      quarantine/                  # entries that failed validation
+
+Writes are atomic: the entry is serialised to a temporary file in the
+destination shard and ``os.replace``-d into place, so a killed sweep
+never leaves a half-written object — at worst a ``*.tmp.*`` leftover
+that ``gc`` sweeps up.  Reads re-validate the per-entry checksum; a
+corrupt entry is moved to ``quarantine/`` and treated as a cache miss,
+so the run is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import typing
+
+import repro
+from repro.deploy.scenario import ScenarioConfig
+from repro.metrics.collector import RunReport
+from repro.store import provenance
+from repro.store.codec import (
+    StoreDecodeError,
+    StoreEntry,
+    StoreSchemaError,
+    decode_entry,
+    encode_entry,
+)
+from repro.store import keys
+from repro.store.keys import config_digest
+
+__all__ = ["ENV_VAR", "GcReport", "RunStore", "VerifyReport", "default_root"]
+
+#: Environment variable overriding the default store location.
+ENV_VAR = "REPRO_STORE"
+
+_OBJECTS_DIR = "objects"
+_QUARANTINE_DIR = "quarantine"
+_TMP_MARKER = ".tmp."
+
+
+def default_root() -> str:
+    """``$REPRO_STORE`` when set, else ``~/.cache/repro-sim``."""
+    configured = os.environ.get(ENV_VAR)
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-sim")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VerifyReport:
+    """Outcome of a full-store validation pass (read-only)."""
+
+    checked: int
+    ok: int
+    #: Intact entries written under a different schema version.
+    stale: typing.Tuple[str, ...]
+    #: ``(path, reason)`` for every entry that failed to decode.
+    corrupt: typing.Tuple[typing.Tuple[str, str], ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing is corrupt (stale entries are tolerated)."""
+        return not self.corrupt
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GcReport:
+    """Outcome of a garbage-collection pass."""
+
+    removed_stale: int
+    removed_tmp: int
+    quarantined: int
+    kept: int
+
+
+class RunStore:
+    """Content-addressed store of finished simulation runs.
+
+    Parameters
+    ----------
+    root:
+        Store directory.  ``None`` resolves via :func:`default_root`
+        (the ``REPRO_STORE`` environment variable, then the user cache
+        directory).  Created lazily on first write.
+    """
+
+    def __init__(
+        self, root: typing.Optional[typing.Union[str, os.PathLike]] = None
+    ) -> None:
+        self.root = os.path.abspath(
+            os.fspath(root) if root is not None else default_root()
+        )
+        #: ``(path, reason)`` of entries quarantined by this instance.
+        self.quarantined: typing.List[typing.Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def object_path(self, digest: str) -> str:
+        """On-disk path of the entry addressed by *digest*."""
+        return os.path.join(
+            self.root, _OBJECTS_DIR, digest[:2], f"{digest}.json"
+        )
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, _QUARANTINE_DIR)
+
+    def _object_files(self) -> typing.Iterator[str]:
+        objects = os.path.join(self.root, _OBJECTS_DIR)
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_path = os.path.join(objects, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                yield os.path.join(shard_path, name)
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, config: ScenarioConfig) -> typing.Optional[RunReport]:
+        """The cached report for *config*, or ``None`` on a miss.
+
+        A corrupt entry (truncated file, checksum mismatch, digest that
+        no longer matches its embedded config) is quarantined and
+        reported as a miss — callers recompute instead of crashing.
+        """
+        entry = self.load(config_digest(config))
+        return entry.report if entry is not None else None
+
+    def load(self, digest: str) -> typing.Optional[StoreEntry]:
+        """Load and validate the entry addressed by *digest*, if any."""
+        path = self.object_path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        try:
+            return decode_entry(text, expected_digest=digest)
+        except StoreDecodeError as error:
+            self._quarantine(path, str(error))
+            return None
+
+    def put(
+        self,
+        config: ScenarioConfig,
+        report: RunReport,
+        duration_s: float = math.nan,
+    ) -> str:
+        """Persist one finished run; returns its digest.
+
+        *duration_s* is the measured wall-clock duration of the run —
+        provenance only, it never affects the digest or the report.
+        """
+        digest = config_digest(config)
+        manifest = {
+            "config_digest": digest,
+            "schema": keys.STORE_SCHEMA_VERSION,
+            "package_version": repro.__version__,
+            "created_unix": provenance.wall_clock(),
+            "duration_s": duration_s,
+            "host": provenance.host_info(),
+            "description": config.describe(),
+        }
+        text = encode_entry(config, report, manifest)
+        path = self.object_path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp_path = f"{path}{_TMP_MARKER}{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+        return digest
+
+    # ------------------------------------------------------------------
+    # Inspection & maintenance
+    # ------------------------------------------------------------------
+    def digests(self) -> typing.List[str]:
+        """All digests with an object file, sorted."""
+        found = []
+        for path in self._object_files():
+            name = os.path.basename(path)
+            if name.endswith(".json") and _TMP_MARKER not in name:
+                found.append(name[: -len(".json")])
+        return found
+
+    def entries(self) -> typing.Iterator[StoreEntry]:
+        """Iterate every *valid* entry (corrupt ones are quarantined)."""
+        for digest in self.digests():
+            entry = self.load(digest)
+            if entry is not None:
+                yield entry
+
+    def resolve_prefix(self, prefix: str) -> typing.List[str]:
+        """Digests starting with *prefix* (for CLI lookups)."""
+        return [d for d in self.digests() if d.startswith(prefix)]
+
+    def verify(self) -> VerifyReport:
+        """Validate every entry without modifying the store."""
+        checked = ok = 0
+        stale: typing.List[str] = []
+        corrupt: typing.List[typing.Tuple[str, str]] = []
+        for path in self._object_files():
+            name = os.path.basename(path)
+            if _TMP_MARKER in name:
+                continue
+            checked += 1
+            expected = name[: -len(".json")] if name.endswith(".json") else None
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    decode_entry(handle.read(), expected_digest=expected)
+                ok += 1
+            except StoreSchemaError:
+                stale.append(path)
+            except (OSError, StoreDecodeError) as error:
+                corrupt.append((path, str(error)))
+        return VerifyReport(
+            checked=checked,
+            ok=ok,
+            stale=tuple(stale),
+            corrupt=tuple(corrupt),
+        )
+
+    def gc(self) -> GcReport:
+        """Remove temp leftovers and stale-schema entries.
+
+        Corrupt entries are quarantined (kept for inspection) rather
+        than deleted; intact entries under the current schema are kept.
+        """
+        removed_stale = removed_tmp = quarantined = kept = 0
+        for path in list(self._object_files()):
+            name = os.path.basename(path)
+            if _TMP_MARKER in name:
+                _remove_quietly(path)
+                removed_tmp += 1
+                continue
+            expected = name[: -len(".json")] if name.endswith(".json") else None
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    decode_entry(handle.read(), expected_digest=expected)
+                kept += 1
+            except StoreSchemaError:
+                _remove_quietly(path)
+                removed_stale += 1
+            except (OSError, StoreDecodeError) as error:
+                self._quarantine(path, str(error))
+                quarantined += 1
+        return GcReport(
+            removed_stale=removed_stale,
+            removed_tmp=removed_tmp,
+            quarantined=quarantined,
+            kept=kept,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: str, reason: str) -> None:
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        base = os.path.basename(path)
+        target = os.path.join(self.quarantine_dir, base)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(self.quarantine_dir, f"{base}.{suffix}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # lost a race with another process; nothing to move
+        self.quarantined.append((target, reason))
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass

@@ -1,0 +1,139 @@
+"""Integration: sweeps backed by the content-addressed run store.
+
+These tests exercise the acceptance criteria end to end: a repeated
+sweep does zero simulation the second time and returns field-for-field
+identical reports; an interrupted sweep resumes with only the missing
+cells executed; a corrupt cache entry is quarantined and transparently
+recomputed.
+"""
+
+import pytest
+
+from repro.deploy import Algorithm
+from repro.experiments import runner, sweep
+from repro.store import RunStore, reports_equivalent
+
+FAST = dict(sim_time_s=2_000.0, sensors_per_robot=25, placement="grid")
+
+GRID = dict(
+    algorithms=(Algorithm.FIXED, Algorithm.CENTRALIZED),
+    robot_counts=(4,),
+    seeds=(1, 2),
+    parallel=False,
+    **FAST,
+)
+
+
+@pytest.fixture
+def counted_runs(monkeypatch):
+    """Count (and optionally interrupt) calls to the real simulation."""
+    real = runner.run_config
+    calls = []
+
+    def counting(config):
+        calls.append(config)
+        if counting.raise_after is not None:
+            if len(calls) > counting.raise_after:
+                raise KeyboardInterrupt
+        return real(config)
+
+    counting.raise_after = None
+    monkeypatch.setattr(runner, "run_config", counting)
+    return calls
+
+
+class TestCachedSweep:
+    def test_second_pass_is_pure_cache(self, tmp_path, counted_runs):
+        store = RunStore(tmp_path)
+        first = sweep(store=store, **GRID)
+        assert first.cache.hits == 0
+        assert first.cache.misses == 4
+        assert len(counted_runs) == 4
+
+        second = sweep(store=store, **GRID)
+        # zero simulation on the second pass
+        assert len(counted_runs) == 4
+        assert second.cache.hits == 4
+        assert second.cache.misses == 0
+        assert second.cache.hit_ratio == 1.0
+
+        for p1, p2 in zip(first.points, second.points):
+            assert (p1.algorithm, p1.robot_count) == (
+                p2.algorithm,
+                p2.robot_count,
+            )
+            for r1, r2 in zip(p1.reports, p2.reports):
+                assert reports_equivalent(r1, r2)
+
+    def test_store_is_optional(self, counted_runs):
+        result = sweep(**GRID)
+        assert result.cache.hits == 0
+        assert result.cache.misses == 4
+        assert len(counted_runs) == 4
+
+    def test_overrides_partition_the_store(self, tmp_path, counted_runs):
+        store = RunStore(tmp_path)
+        sweep(store=store, **GRID)
+        changed = dict(GRID, sim_time_s=2_500.0)
+        result = sweep(store=store, **changed)
+        # a changed parameter misses the cache for every cell
+        assert result.cache.hits == 0
+        assert result.cache.misses == 4
+        assert len(counted_runs) == 8
+
+
+class TestResumableSweep:
+    def test_interrupt_then_resume_runs_only_misses(
+        self, tmp_path, counted_runs
+    ):
+        store = RunStore(tmp_path)
+        counted_runs.clear()
+
+        # Kill the sweep after two completed runs...
+        runner.run_config.raise_after = 2
+        with pytest.raises(KeyboardInterrupt):
+            sweep(store=store, **GRID)
+        assert len(counted_runs) == 3  # two finished + the interrupted one
+        assert len(store.digests()) == 2  # finished runs were persisted
+
+        # ...then rerun: only the two missing cells execute.
+        runner.run_config.raise_after = None
+        counted_runs.clear()
+        result = sweep(store=store, **GRID)
+        assert len(counted_runs) == 2
+        assert result.cache.hits == 2
+        assert result.cache.misses == 2
+        assert len(store.digests()) == 4
+
+    def test_corrupt_entry_recomputed(self, tmp_path, counted_runs):
+        store = RunStore(tmp_path)
+        sweep(store=store, **GRID)
+        victim = store.object_path(store.digests()[0])
+        with open(victim, "r+", encoding="utf-8") as handle:
+            handle.truncate(100)
+
+        counted_runs.clear()
+        result = sweep(store=store, **GRID)
+        assert result.cache.hits == 3
+        assert result.cache.misses == 1
+        assert len(counted_runs) == 1
+        assert len(store.quarantined) == 1
+        # the recompute healed the store
+        assert store.verify().passed
+        assert len(store.digests()) == 4
+
+
+class TestParallelSweep:
+    def test_parallel_path_feeds_the_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        grid = dict(GRID, parallel=True, max_workers=2)
+        first = sweep(store=store, **grid)
+        assert first.cache.misses == 4
+        assert len(store.digests()) == 4
+
+        second = sweep(store=store, **grid)
+        assert second.cache.hits == 4
+        assert second.cache.misses == 0
+        for p1, p2 in zip(first.points, second.points):
+            for r1, r2 in zip(p1.reports, p2.reports):
+                assert reports_equivalent(r1, r2)

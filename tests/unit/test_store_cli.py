@@ -1,0 +1,210 @@
+"""Unit tests for the store-facing parts of the CLI.
+
+The management commands (``store ls|info|gc|verify``) are tested
+against a temporary store populated with synthetic reports — no
+simulation runs.  One test drives ``compare --store`` end to end on a
+small scenario to check the full cached round trip.
+"""
+
+import argparse
+
+import pytest
+
+from repro.cli import _resolve_store, build_parser, main
+from repro.deploy import Algorithm, paper_scenario
+from repro.metrics import RunReport
+from repro.store import RunStore, config_digest
+
+
+def make_report(description="fixed | test"):
+    """A synthetic but fully populated RunReport (no simulation)."""
+    return RunReport(
+        description=description,
+        failures=5,
+        detected=5,
+        reported=4,
+        repaired=3,
+        mean_travel_distance=82.5,
+        mean_repair_latency=130.25,
+        mean_report_hops=2.4,
+        mean_request_hops=float("nan"),
+        update_transmissions_per_failure=101.5,
+        report_delivery_ratio=1.0,
+        total_robot_distance=412.0,
+        transmissions_by_category={"beacon": 100},
+        routing_snapshot={},
+    )
+
+
+CONFIG = paper_scenario(Algorithm.FIXED, 4, seed=3, sim_time_s=2_000.0)
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A store with three synthetic entries; returns (store, digests)."""
+    store = RunStore(tmp_path)
+    digests = [
+        store.put(CONFIG.replace(seed=seed), make_report())
+        for seed in (3, 4, 5)
+    ]
+    return store, digests
+
+
+class TestParser:
+    def test_store_subcommand(self):
+        args = build_parser().parse_args(["store", "ls"])
+        assert args.command == "store"
+        assert args.action == "ls"
+        assert args.digest is None
+
+    def test_store_info_takes_digest_prefix(self):
+        args = build_parser().parse_args(
+            ["store", "info", "abc123", "--store", "/tmp/s"]
+        )
+        assert args.action == "info"
+        assert args.digest == "abc123"
+        assert args.store == "/tmp/s"
+
+    def test_store_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "frobnicate"])
+
+    @pytest.mark.parametrize("command", ["compare", "ablate", "figure"])
+    def test_cache_flags_on_sweep_commands(self, command):
+        argv = {"ablate": [command, "partition"], "figure": [command, "2"]}
+        args = build_parser().parse_args(
+            argv.get(command, [command])
+            + ["--store", "/tmp/s", "--jobs", "4"]
+        )
+        assert args.store == "/tmp/s"
+        assert args.jobs == 4
+        assert args.no_store is False
+
+    def test_bare_store_flag_means_default_root(self):
+        args = build_parser().parse_args(["compare", "--store"])
+        assert args.store == ""
+
+
+class TestResolveStore:
+    def _args(self, **kw):
+        defaults = dict(store=None, no_store=False)
+        defaults.update(kw)
+        return argparse.Namespace(**defaults)
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert _resolve_store(self._args()) is None
+
+    def test_no_store_beats_everything(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        args = self._args(store=str(tmp_path), no_store=True)
+        assert _resolve_store(args) is None
+
+    def test_explicit_path(self, tmp_path):
+        store = _resolve_store(self._args(store=str(tmp_path)))
+        assert store is not None
+        assert store.root == str(tmp_path)
+
+    def test_env_var_opts_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env"))
+        store = _resolve_store(self._args())
+        assert store is not None
+        assert store.root == str(tmp_path / "env")
+
+
+class TestStoreCommands:
+    def test_ls_lists_every_entry(self, populated, capsys):
+        store, digests = populated
+        code = main(["store", "ls", "--store", store.root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 entr(y/ies)" in out
+        for digest in digests:
+            assert digest[:12] in out
+
+    def test_info_shows_manifest_and_report(self, populated, capsys):
+        store, digests = populated
+        code = main(["store", "info", digests[0][:10], "--store", store.root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert digests[0] in out
+        assert "config_digest" in out
+        assert "package_version" in out
+        assert "motion overhead" in out
+
+    def test_info_requires_digest(self, populated, capsys):
+        store, _digests = populated
+        assert main(["store", "info", "--store", store.root]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_info_rejects_ambiguous_prefix(self, tmp_path, capsys):
+        store = RunStore(tmp_path)
+        # 17 entries over 16 possible first hex chars: by pigeonhole at
+        # least two digests share a one-character prefix.
+        digests = [
+            store.put(CONFIG.replace(seed=seed), make_report())
+            for seed in range(17)
+        ]
+        firsts = [digest[0] for digest in digests]
+        shared = next(c for c in firsts if firsts.count(c) > 1)
+        code = main(["store", "info", shared, "--store", store.root])
+        assert code == 2
+        assert "matches" in capsys.readouterr().err
+
+    def test_info_unknown_prefix(self, populated, capsys):
+        store, _digests = populated
+        code = main(["store", "info", "zzzz", "--store", store.root])
+        assert code == 2
+        assert "matches 0" in capsys.readouterr().err
+
+    def test_verify_clean_store(self, populated, capsys):
+        store, _digests = populated
+        code = main(["store", "verify", "--store", store.root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 ok" in out
+
+    def test_verify_fails_on_corruption(self, populated, capsys):
+        store, digests = populated
+        path = store.object_path(digests[1])
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.truncate(50)
+        code = main(["store", "verify", "--store", store.root])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 corrupt" in captured.out
+        assert "corrupt:" in captured.err
+
+    def test_gc_reports_counts(self, populated, capsys):
+        store, digests = populated
+        leftover = store.object_path(digests[0]) + ".tmp.999"
+        with open(leftover, "w", encoding="utf-8") as handle:
+            handle.write("partial")
+        code = main(["store", "gc", "--store", store.root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kept 3" in out
+        assert "1 temp file(s)" in out
+
+
+class TestCachedCompare:
+    def test_compare_hits_store_on_second_run(self, tmp_path, capsys):
+        argv = [
+            "compare",
+            "--robots",
+            "4",
+            "--sim-time",
+            "1200",
+            "--seed",
+            "2",
+            "--store",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "0 hit(s), 3 miss(es)" in first.err
+
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "3 hit(s), 0 miss(es)" in second.err
+        assert second.out == first.out
