@@ -46,7 +46,9 @@ from repro.experiments.figures import (
     figure4_update_transmissions,
 )
 from repro.experiments.render import render_table
+from repro.experiments.resilience import figure_resilience
 from repro.experiments.runner import run_many
+from repro.faults.script import load_fault_script
 from repro.sim.trace import RecordingSink, Tracer
 from repro.store import ENV_VAR as STORE_ENV_VAR
 from repro.store import RunStore
@@ -57,6 +59,7 @@ _FIGURES = {
     "2": figure2_motion_overhead,
     "3": figure3_hops,
     "4": figure4_update_transmissions,
+    "resilience": figure_resilience,
 }
 
 _ABLATIONS = {
@@ -107,7 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
         "figure", help="regenerate one of the paper's figures"
     )
     figure.add_argument(
-        "number", choices=sorted(_FIGURES), help="paper figure number"
+        "number",
+        choices=sorted(_FIGURES),
+        help="paper figure number, or 'resilience' for the robot-fault "
+        "extension figure",
     )
     figure.add_argument(
         "--robots",
@@ -130,6 +136,19 @@ def build_parser() -> argparse.ArgumentParser:
         "regime, 1 = the paper's literal setting",
     )
     figure.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="frame loss rate [0,1) applied to every run",
+    )
+    figure.add_argument(
+        "--mtbf",
+        type=float,
+        nargs="+",
+        default=[2_000.0, 8_000.0, 32_000.0],
+        help="robot MTBF values to sweep (figure 'resilience' only)",
+    )
+    figure.add_argument(
         "--svg",
         metavar="FILE",
         help="also write the figure as an SVG line chart",
@@ -149,7 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
     ablate.add_argument(
         "--sim-time", type=float, default=16_000.0, help="horizon (s)"
     )
+    ablate.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="frame loss rate [0,1) applied to every run",
+    )
     _add_cache_arguments(ablate)
+
+    faults = commands.add_parser(
+        "faults",
+        help="demo: run a scripted robot-fault campaign and print the "
+        "fault/recovery timeline",
+    )
+    _add_scenario_arguments(faults)
 
     store = commands.add_parser(
         "store",
@@ -248,6 +280,28 @@ def _add_scenario_arguments(
         default=None,
         help="enable background sensor readings every N seconds",
     )
+    parser.add_argument(
+        "--robot-mtbf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="enable stochastic robot breakdowns with this mean time "
+        "between failures (s)",
+    )
+    parser.add_argument(
+        "--robot-downtime",
+        type=float,
+        default=None,
+        metavar="S",
+        help="downtime of a recoverable breakdown (default: 900 s)",
+    )
+    parser.add_argument(
+        "--fault-script",
+        metavar="FILE",
+        default=None,
+        help="JSON file with a scripted fault campaign "
+        "(list of {time, target, kind[, duration]})",
+    )
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -306,6 +360,13 @@ def _cache_note(cache: typing.Any, store: typing.Optional[RunStore]) -> None:
 
 
 def _config_from_args(args: argparse.Namespace, algorithm: str):
+    overrides: typing.Dict[str, typing.Any] = {}
+    if getattr(args, "robot_mtbf", None) is not None:
+        overrides["robot_mtbf_s"] = args.robot_mtbf
+    if getattr(args, "robot_downtime", None) is not None:
+        overrides["robot_downtime_s"] = args.robot_downtime
+    if getattr(args, "fault_script", None):
+        overrides["fault_script"] = load_fault_script(args.fault_script)
     return paper_scenario(
         algorithm,
         args.robots,
@@ -316,6 +377,7 @@ def _config_from_args(args: argparse.Namespace, algorithm: str):
         robot_capacity=args.capacity,
         dispatch_policy=args.dispatch,
         data_traffic_period_s=args.traffic_period,
+        **overrides,
     )
 
 
@@ -416,15 +478,29 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_figure(args: argparse.Namespace) -> int:
     generator = _FIGURES[args.number]
     store = _resolve_store(args)
-    figure = generator(
-        robot_counts=tuple(args.robots),
-        seeds=tuple(args.seeds),
-        parallel=bool(args.jobs and args.jobs > 1),
-        store=store,
-        max_workers=args.jobs,
-        sim_time_s=args.sim_time,
-        robot_speed_mps=args.speed,
-    )
+    if args.number == "resilience":
+        figure = generator(
+            mtbf_values=tuple(args.mtbf),
+            loss_rates=(args.loss,),
+            robot_count=args.robots[0],
+            seeds=tuple(args.seeds),
+            parallel=bool(args.jobs and args.jobs > 1),
+            store=store,
+            max_workers=args.jobs,
+            sim_time_s=args.sim_time,
+            robot_speed_mps=args.speed,
+        )
+    else:
+        figure = generator(
+            robot_counts=tuple(args.robots),
+            seeds=tuple(args.seeds),
+            parallel=bool(args.jobs and args.jobs > 1),
+            store=store,
+            max_workers=args.jobs,
+            sim_time_s=args.sim_time,
+            robot_speed_mps=args.speed,
+            loss_rate=args.loss,
+        )
     _cache_note(figure.sweep_result.cache, store)
     print(figure.render())
     if args.svg:
@@ -434,10 +510,14 @@ def _command_figure(args: argparse.Namespace) -> int:
             "2": "average traveling distance per failure (m)",
             "3": "average number of hops per failure",
             "4": "transmissions for location update per failure",
+            "resilience": "unrepaired failure fraction",
         }
         with open(args.svg, "w", encoding="utf-8") as handle:
             handle.write(
-                figure_to_svg(figure, y_label=y_labels[args.number])
+                figure_to_svg(
+                    figure,
+                    y_label=y_labels.get(args.number, args.number),
+                )
             )
         print(f"wrote {args.svg}")
     return 0 if figure.all_claims_hold else 1
@@ -453,6 +533,7 @@ def _command_ablate(args: argparse.Namespace) -> int:
             store=store,
             max_workers=args.jobs,
             sim_time_s=args.sim_time,
+            loss_rate=args.loss,
         )
     else:
         result = study(
@@ -461,8 +542,71 @@ def _command_ablate(args: argparse.Namespace) -> int:
             store=store,
             max_workers=args.jobs,
             sim_time_s=args.sim_time,
+            loss_rate=args.loss,
         )
     print(result.table())
+    return 0
+
+
+_FAULT_TIMELINE_CATEGORIES = (
+    "robot_fault",
+    "robot_recovered",
+    "manager_fault",
+    "manager_recovered",
+    "fault_detected",
+    "manager_failover",
+    "redispatch",
+    "escalation",
+    "orphaned",
+)
+
+
+def _command_faults(args: argparse.Namespace) -> int:
+    """Run a fault campaign and print the fault/recovery timeline."""
+    config = _config_from_args(args, args.algorithm)
+    if not config.faults_enabled:
+        # No faults requested: demo a default scripted campaign that
+        # breaks the first robot halfway in (and kills the manager for
+        # a while under the centralized algorithm).
+        from repro.faults.script import FaultEvent, FaultKind
+
+        half = config.sim_time_s / 2
+        script = [
+            FaultEvent(
+                time=half,
+                target="robot-00",
+                kind=FaultKind.BREAKDOWN,
+                duration=config.sim_time_s / 8,
+            ),
+            FaultEvent(
+                time=half * 1.25,
+                target="manager-00",
+                kind=FaultKind.MANAGER_DOWN,
+                duration=config.sim_time_s / 16,
+            ),
+        ]
+        config = config.replace(fault_script=tuple(script))
+    tracer = Tracer()
+    recorder = RecordingSink()
+    for category in _FAULT_TIMELINE_CATEGORIES:
+        tracer.subscribe(category, recorder)
+    runtime = ScenarioRuntime(config, tracer=tracer)
+    print(f"running: {config.describe()}")
+    report = runtime.run()
+    print()
+    print("fault timeline:")
+    if not recorder.records:
+        print("  (no fault events)")
+    for record in recorder.records:
+        fields = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(record.fields.items())
+            if key != "time"
+        )
+        print(f"  t={record.time:9.1f}  {record.category:17s} {fields}")
+    print()
+    for line in report.summary_lines():
+        print(" ", line)
     return 0
 
 
@@ -589,6 +733,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "figure": _command_figure,
         "ablate": _command_ablate,
+        "faults": _command_faults,
         "store": _command_store,
         "params": _command_params,
         "lint": _command_lint,

@@ -109,6 +109,29 @@ class CoordinationStrategy(abc.ABC):
         """Hook after *sensor* folded *flood* into its robot knowledge."""
 
     # ------------------------------------------------------------------
+    # Robot faults (resilience extension; no-ops for the baseline)
+    # ------------------------------------------------------------------
+    def on_robot_declared_dead(
+        self,
+        monitor: typing.Optional["RobotNode"],
+        robot_id: NodeId,
+        position: typing.Optional[Point],
+    ) -> None:
+        """A robot was declared dead by heartbeat silence.
+
+        *monitor* is the live robot that made the declaration (None when
+        no live peer with fresh heartbeat evidence exists), *position*
+        the dead robot's last reported location.  The centralized
+        algorithm recovers purely through the dispatch desk, so the
+        default is a no-op; the distributed algorithms override this
+        with subarea takeover (fixed) or an obituary flood triggering
+        Voronoi re-partition (dynamic).
+        """
+
+    def on_robot_recovered(self, robot: "RobotNode") -> None:
+        """A previously failed robot is back in service."""
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     def _nearest_sensor_neighbor(

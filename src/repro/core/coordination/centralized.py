@@ -96,20 +96,28 @@ class CentralizedStrategy(CoordinationStrategy):
         return (sensor.manager_id, sensor.manager_position)
 
     def publish_robot_location(self, robot: "RobotNode", seq: int) -> None:
-        """Routed update to the manager + one-hop broadcast (paper §3.1)."""
-        manager = self.runtime.manager
-        assert manager is not None
+        """Routed update to the manager + one-hop broadcast (paper §3.1).
+
+        The update goes to the robot's *current* manager contact — the
+        static manager in the baseline (set during setup), or the acting
+        manager after a failover.
+        """
         announcement = NodeAnnouncement(
             node_id=robot.node_id,
             position=robot.position,
             kind=robot.kind,
         )
-        robot.send_routed(
-            manager.node_id,
-            manager.position,
-            Category.LOCATION_UPDATE,
-            announcement,
-        )
+        if (
+            robot.manager_id is not None
+            and robot.manager_position is not None
+            and robot.manager_id != robot.node_id
+        ):
+            robot.send_routed(
+                robot.manager_id,
+                robot.manager_position,
+                Category.LOCATION_UPDATE,
+                announcement,
+            )
         robot.send_broadcast(Category.LOCATION_UPDATE, announcement)
 
     def should_relay_flood(

@@ -112,9 +112,13 @@ class DynamicStrategy(CoordinationStrategy):
         ):
             return False
         distance_to_origin = sensor.position.distance_to(flood.position)
-        closest_other = sensor.closest_known_robot(
-            exclude={flood.origin_id}
+        # For an obituary the announced position is the *subject*'s, so
+        # the scope is the dead robot's cell (plus the margin band) and
+        # the subject is the robot to exclude from "closest other".
+        excluded = (
+            flood.subject if flood.subject is not None else flood.origin_id
         )
+        closest_other = sensor.closest_known_robot(exclude={excluded})
         if closest_other is None:
             return True
         distance_to_other = sensor.position.distance_to(closest_other[1])
@@ -134,3 +138,39 @@ class DynamicStrategy(CoordinationStrategy):
         closest = sensor.closest_known_robot()
         if closest is not None:
             sensor.myrobot_id, sensor.myrobot_position = closest
+
+    # ------------------------------------------------------------------
+    # Robot faults (resilience extension)
+    # ------------------------------------------------------------------
+    def on_robot_declared_dead(
+        self,
+        monitor: typing.Optional["RobotNode"],
+        robot_id: NodeId,
+        position: typing.Optional[Point],
+    ) -> None:
+        """Voronoi re-partition by obituary flood.
+
+        The declaring monitor floods an obituary scoped to the dead
+        robot's (former) cell plus the margin band: every sensor that
+        might have pointed at the dead robot forgets it and re-adopts
+        the closest remaining robot it knows (paper §3.3 machinery,
+        re-used for shrinkage instead of movement).
+        """
+        if monitor is None or not monitor.alive:
+            return
+        if position is None:
+            position = monitor.position
+        monitor.send_broadcast(
+            Category.LOCATION_UPDATE,
+            FloodMessage(
+                origin_id=monitor.node_id,
+                position=position,
+                kind=monitor.kind,
+                seq=monitor.next_flood_seq(),
+                subject=robot_id,
+            ),
+        )
+
+    def on_robot_recovered(self, robot: "RobotNode") -> None:
+        """Nothing special: the recovered robot's next location flood
+        re-introduces it to the sensors around it."""

@@ -116,17 +116,33 @@ class FixedStrategy(CoordinationStrategy):
         return self.partition.index_of(entry.position) == sensor.subarea
 
     def publish_robot_location(self, robot: "RobotNode", seq: int) -> None:
-        """Flood the new position to every sensor of the subarea."""
-        robot.send_broadcast(
-            Category.LOCATION_UPDATE,
-            FloodMessage(
-                origin_id=robot.node_id,
-                position=robot.position,
-                kind=robot.kind,
-                seq=seq,
-                subarea=robot.subarea,
-            ),
+        """Flood the new position to every owned subarea.
+
+        In the baseline a robot owns exactly its home subarea, so this
+        emits the paper's single scoped flood.  After a takeover
+        (resilience extension) the survivor also floods the subareas it
+        inherited, each with its own sequence number.
+        """
+        owned = sorted(
+            index
+            for index, robot_id in self.robot_of_subarea.items()
+            if robot_id == robot.node_id
         )
+        if not owned:
+            owned = [robot.subarea] if robot.subarea is not None else []
+        first = True
+        for index in owned:
+            robot.send_broadcast(
+                Category.LOCATION_UPDATE,
+                FloodMessage(
+                    origin_id=robot.node_id,
+                    position=robot.position,
+                    kind=robot.kind,
+                    seq=seq if first else robot.next_flood_seq(),
+                    subarea=index,
+                ),
+            )
+            first = False
 
     def should_relay_flood(
         self, sensor: "SensorNode", flood: FloodMessage
@@ -143,3 +159,89 @@ class FixedStrategy(CoordinationStrategy):
     ) -> None:
         if flood.origin_id == sensor.myrobot_id:
             sensor.myrobot_position = flood.position
+            return
+        if (
+            self.config.resilience_enabled
+            and flood.subarea == sensor.subarea
+            and flood.kind == "robot"
+        ):
+            # A different robot flooding *this* subarea can only mean a
+            # takeover (or a reclaim): adopt it as the new manager.
+            sensor.myrobot_id = flood.origin_id
+            sensor.myrobot_position = flood.position
+
+    # ------------------------------------------------------------------
+    # Robot faults (resilience extension)
+    # ------------------------------------------------------------------
+    def on_robot_declared_dead(
+        self,
+        monitor: typing.Optional["RobotNode"],
+        robot_id: NodeId,
+        position: typing.Optional[Point],
+    ) -> None:
+        """Neighbour-subarea takeover of a dead robot's subareas.
+
+        Each subarea the dead robot owned passes to the live robot whose
+        last known position is closest to the subarea centre (ties by
+        id).  The new owner floods the subarea announcing itself; the
+        sensors' pointers are also re-seeded administratively, standing
+        in for a directed hand-over notification that a full
+        implementation would route through the subarea gateway (the
+        on-air flood is still emitted for accounting, and the
+        ``on_flood_learned`` repoint rule covers sensors it reaches).
+        """
+        service = self.runtime.resilience
+        dead_subareas = sorted(
+            index
+            for index, owner in self.robot_of_subarea.items()
+            if owner == robot_id
+        )
+        live = [
+            robot
+            for robot in self.runtime.robots_sorted()
+            if robot.alive and robot.node_id != robot_id
+        ]
+        if not live or not dead_subareas:
+            return
+
+        def last_position(robot: "RobotNode") -> Point:
+            if service is not None:
+                known = service.last_position.get(robot.node_id)
+                if known is not None:
+                    return known
+            return robot.position
+
+        for index in dead_subareas:
+            center = self.partition.center_of(index)
+            new_owner = min(
+                live,
+                key=lambda robot: (
+                    center.squared_distance_to(last_position(robot)),
+                    robot.node_id,
+                ),
+            )
+            self.robot_of_subarea[index] = new_owner.node_id
+            for sensor in self.runtime.sensors_sorted():
+                if sensor.subarea == index:
+                    sensor.myrobot_id = new_owner.node_id
+                    sensor.myrobot_position = new_owner.position
+            new_owner.send_broadcast(
+                Category.LOCATION_UPDATE,
+                FloodMessage(
+                    origin_id=new_owner.node_id,
+                    position=new_owner.position,
+                    kind=new_owner.kind,
+                    seq=new_owner.next_flood_seq(),
+                    subarea=index,
+                ),
+            )
+
+    def on_robot_recovered(self, robot: "RobotNode") -> None:
+        """A recovered robot reclaims its home subarea."""
+        if robot.subarea is None:
+            return
+        self.robot_of_subarea[robot.subarea] = robot.node_id
+        for sensor in self.runtime.sensors_sorted():
+            if sensor.subarea == robot.subarea:
+                sensor.myrobot_id = robot.node_id
+                sensor.myrobot_position = robot.position

@@ -2,21 +2,23 @@
 
 A static robot at the centre of the field ("we assume the manager does
 not move and is located at the center of the area to balance failure
-reports from all directions").  It keeps a registry of every maintenance
-robot's last reported location, and forwards each failure to the robot
-currently closest to it.
+reports from all directions").  The actual dispatch bookkeeping lives in
+:class:`repro.core.dispatch.DispatchDesk` so that a maintenance robot
+promoted to acting manager (resilience extension) runs the identical
+logic; this node delegates to its desk.
 """
 
 from __future__ import annotations
 
 import typing
 
+from repro.core.dispatch import DispatchDesk
 from repro.core.messages import (
     CompletionNotice,
     FailureNotice,
-    ReplacementRequest,
+    Heartbeat,
+    HeartbeatAck,
 )
-from repro.deploy.scenario import DispatchPolicy
 from repro.geometry.point import Point
 from repro.net.frames import Category, NodeAnnouncement, NodeId, Packet
 from repro.net.node import NetworkNode
@@ -36,68 +38,43 @@ class CentralManagerNode(NetworkNode):
         runtime: "ScenarioRuntime" = kwargs.pop("runtime")
         super().__init__(*args, **kwargs)
         self.runtime = runtime
-        #: Last known location of every maintenance robot.
-        self.robot_registry: typing.Dict[NodeId, Point] = {}
-        #: Jobs dispatched but not yet reported complete, per robot.
-        #: Only maintained under the load-aware dispatch policies.
-        self.outstanding: typing.Dict[NodeId, int] = {}
-        self._handled: typing.Set[NodeId] = set()
+        self.desk = DispatchDesk(self)
+        #: Announcement sequence; 0 is the setup flood, restarts advance.
+        self._flood_seq = 0
 
     # ------------------------------------------------------------------
-    # Registry
+    # Registry (delegated to the desk; tests and strategies use these)
     # ------------------------------------------------------------------
+    @property
+    def robot_registry(self) -> typing.Dict[NodeId, Point]:
+        """Last known location of every maintenance robot."""
+        return self.desk.robot_registry
+
+    @property
+    def outstanding(self) -> typing.Dict[NodeId, int]:
+        """Jobs dispatched but not yet reported complete, per robot."""
+        return self.desk.outstanding
+
     def register_robot(self, robot_id: NodeId, position: Point) -> None:
         """Record (or refresh) a robot's location."""
-        self.robot_registry[robot_id] = position
+        self.desk.register_robot(robot_id, position)
 
     def closest_robot_to(
         self, position: Point
     ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
         """The registered robot nearest to *position* (ties by id)."""
-        best: typing.Optional[typing.Tuple[NodeId, Point]] = None
-        best_d2 = float("inf")
-        for robot_id in sorted(self.robot_registry):
-            robot_position = self.robot_registry[robot_id]
-            d2 = position.squared_distance_to(robot_position)
-            if d2 < best_d2:
-                best = (robot_id, robot_position)
-                best_d2 = d2
-        return best
+        return self.desk.closest_robot_to(position)
 
     def select_robot_for(
         self, position: Point
     ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
         """Pick the maintainer per the configured dispatch policy."""
-        policy = self.runtime.config.dispatch_policy
-        if policy == DispatchPolicy.CLOSEST or not self.robot_registry:
-            return self.closest_robot_to(position)
+        return self.desk.select_robot_for(position)
 
-        def load_of(robot_id: NodeId) -> int:
-            return self.outstanding.get(robot_id, 0)
-
-        if policy == DispatchPolicy.CLOSEST_IDLE:
-            idle = {
-                robot_id: robot_position
-                for robot_id, robot_position in self.robot_registry.items()
-                if load_of(robot_id) == 0
-            }
-            if idle:
-                best = min(
-                    sorted(idle),
-                    key=lambda rid: position.squared_distance_to(idle[rid]),
-                )
-                return (best, idle[best])
-            return self.closest_robot_to(position)
-
-        # LEAST_LOADED: minimise queue depth, break ties by distance.
-        best_id = min(
-            sorted(self.robot_registry),
-            key=lambda rid: (
-                load_of(rid),
-                position.squared_distance_to(self.robot_registry[rid]),
-            ),
-        )
-        return (best_id, self.robot_registry[best_id])
+    def next_flood_seq(self) -> int:
+        """Advance and return the announcement sequence number."""
+        self._flood_seq += 1
+        return self._flood_seq
 
     # ------------------------------------------------------------------
     # Packet handling
@@ -105,39 +82,29 @@ class CentralManagerNode(NetworkNode):
     def on_packet_delivered(self, packet: Packet) -> None:
         payload = packet.payload
         if isinstance(payload, FailureNotice):
-            self._handle_failure_report(payload, packet)
+            self.desk.handle_failure_report(payload, packet.hops)
         elif isinstance(payload, CompletionNotice):
-            current = self.outstanding.get(payload.robot_id, 0)
-            self.outstanding[payload.robot_id] = max(0, current - 1)
+            self.desk.handle_completion(payload)
         elif isinstance(payload, NodeAnnouncement):
             # A robot's routed location update (or initial registration).
             if payload.kind == "robot":
                 self.register_robot(payload.node_id, payload.position)
+        elif isinstance(payload, Heartbeat):
+            self._handle_heartbeat(payload)
 
-    def _handle_failure_report(
-        self, notice: FailureNotice, packet: Packet
-    ) -> None:
-        if notice.failed_id in self._handled:
+    def _handle_heartbeat(self, heartbeat: Heartbeat) -> None:
+        service = self.runtime.resilience
+        if service is None:
             return
-        self._handled.add(notice.failed_id)
-        metrics = self.runtime.metrics
-        metrics.record_report(
-            notice.failed_id, self.node_id, self.sim.now, packet.hops
-        )
-        choice = self.select_robot_for(notice.failed_position)
-        if choice is None:
-            return  # No robots registered — nothing to dispatch.
-        robot_id, robot_position = choice
-        self.outstanding[robot_id] = self.outstanding.get(robot_id, 0) + 1
-        metrics.record_dispatch(notice.failed_id, robot_id, self.sim.now)
+        self.register_robot(heartbeat.robot_id, heartbeat.position)
+        service.note_heartbeat(self, heartbeat)
         self.send_routed(
-            robot_id,
-            robot_position,
-            Category.REPAIR_REQUEST,
-            ReplacementRequest(
-                failed_id=notice.failed_id,
-                failed_position=notice.failed_position,
-                robot_id=robot_id,
-                notice=notice,
+            heartbeat.robot_id,
+            heartbeat.position,
+            Category.HEARTBEAT,
+            HeartbeatAck(
+                manager_id=self.node_id,
+                robot_id=heartbeat.robot_id,
+                sent_time=self.sim.now,
             ),
         )

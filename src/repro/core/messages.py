@@ -25,6 +25,8 @@ from repro.net.frames import NodeId
 __all__ = [
     "CompletionNotice",
     "FailureNotice",
+    "Heartbeat",
+    "HeartbeatAck",
     "ReplacementRequest",
     "FloodMessage",
     "GuardianConfirm",
@@ -68,6 +70,11 @@ class FloodMessage:
     kind: str
     seq: int
     subarea: typing.Optional[int] = None
+    #: When set, the flood announces *another* node's state — e.g. a
+    #: monitor broadcasting a dead robot's obituary.  Sensors then must
+    #: not mistake the announced position for the relayer's own, and
+    #: duplicate suppression excludes the subject rather than the origin.
+    subject: typing.Optional[NodeId] = None
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -83,6 +90,34 @@ class CompletionNotice:
     robot_id: NodeId
     failed_id: NodeId
     completion_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """A robot's periodic liveness report (resilience extension).
+
+    Routed to the central manager (centralized algorithm) or to the
+    robot's ring successor (distributed algorithms).  Silence for
+    ``missed_heartbeats_for_failure`` periods triggers a failure
+    declaration.
+    """
+
+    robot_id: NodeId
+    position: Point
+    sent_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class HeartbeatAck:
+    """The manager's answer to a :class:`Heartbeat`.
+
+    Robots use ack silence to detect a dead *manager* (centralized
+    algorithm only) and trigger failover.
+    """
+
+    manager_id: NodeId
+    robot_id: NodeId
+    sent_time: float
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

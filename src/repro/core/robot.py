@@ -10,6 +10,14 @@ In the distributed algorithms the robot is also the *manager*: failure
 reports arrive directly and are enqueued locally.  In the centralized
 algorithm the robot only receives :class:`ReplacementRequest` messages
 forwarded by the central manager.
+
+Resilience extension: robots can break (:meth:`mark_down`) — a broken
+robot freezes mid-leg, drops its queue, and stops sending or receiving
+until it recovers (or forever, for a permanent crash).  A robot can also
+be *promoted* to acting manager after a central-manager failure, at
+which point it runs the same :class:`~repro.core.dispatch.DispatchDesk`
+logic as the static manager.  With faults and resilience disabled every
+code path below reduces to the paper's baseline behaviour.
 """
 
 from __future__ import annotations
@@ -21,14 +29,18 @@ import typing
 from repro.core.messages import (
     CompletionNotice,
     FailureNotice,
+    FloodMessage,
+    Heartbeat,
+    HeartbeatAck,
     ReplacementRequest,
 )
 from repro.deploy.scenario import DispatchPolicy
 from repro.geometry.point import Point
-from repro.net.frames import Category, NodeId, Packet
+from repro.net.frames import Category, NodeAnnouncement, NodeId, Packet
 from repro.net.node import NetworkNode
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.dispatch import DispatchDesk
     from repro.core.runtime import ScenarioRuntime
 
 __all__ = ["RepairTask", "RobotNode"]
@@ -79,7 +91,19 @@ class RobotNode(NetworkNode):
         )
         self.return_after = config.return_to_post_after_s
 
+        #: Broken down (resilience extension); a down robot is off the
+        #: channel and its maintenance loop is parked on ``_recovery``.
+        self.down = False
+        self._recovery = None
+        #: Acting central manager after failover (resilience extension).
+        self.acting_manager = False
+        self.desk: typing.Optional["DispatchDesk"] = None
+        #: Highest manager-announcement seq seen, per origin (dedup for
+        #: relayed failover/restart floods).
+        self._mgr_flood_seen: typing.Dict[NodeId, int] = {}
+
         self._queue: typing.Deque[RepairTask] = collections.deque()
+        self._current_task: typing.Optional[RepairTask] = None
         self._handled: typing.Set[NodeId] = set()
         self._wakeup = None
         self._flood_seq = 0
@@ -92,29 +116,11 @@ class RobotNode(NetworkNode):
     def on_packet_delivered(self, packet: Packet) -> None:
         payload = packet.payload
         if isinstance(payload, FailureNotice):
-            # Distributed algorithms: this robot is the manager.
-            if payload.failed_id in self._handled:
-                return
-            self._handled.add(payload.failed_id)
-            metrics = self.runtime.metrics
-            metrics.record_report(
-                payload.failed_id, self.node_id, self.sim.now, packet.hops
-            )
-            metrics.record_dispatch(
-                payload.failed_id, self.node_id, self.sim.now
-            )
-            self.enqueue(
-                RepairTask(
-                    failed_id=payload.failed_id,
-                    position=payload.failed_position,
-                    notice=payload,
-                )
-            )
+            self._handle_failure_notice(payload, packet)
         elif isinstance(payload, ReplacementRequest):
             # Centralized algorithm: forwarded by the central manager.
-            if payload.failed_id in self._handled:
+            if not self._accept_failure(payload.failed_id):
                 return
-            self._handled.add(payload.failed_id)
             self.runtime.metrics.record_request_hops(
                 payload.failed_id, packet.hops
             )
@@ -125,6 +131,87 @@ class RobotNode(NetworkNode):
                     notice=payload.notice,
                 )
             )
+        elif isinstance(payload, CompletionNotice):
+            if self.acting_manager and self.desk is not None:
+                self.desk.handle_completion(payload)
+        elif isinstance(payload, Heartbeat):
+            self._handle_heartbeat(payload)
+        elif isinstance(payload, HeartbeatAck):
+            service = self.runtime.resilience
+            if service is not None:
+                service.note_ack(payload.robot_id)
+
+    def _handle_failure_notice(
+        self, notice: FailureNotice, packet: Packet
+    ) -> None:
+        if self.runtime.coordination.uses_central_manager:
+            # Centralized algorithm: a report lands on a robot only after
+            # manager failover, when this robot acts as the manager.
+            if self.acting_manager and self.desk is not None:
+                self.desk.handle_failure_report(notice, packet.hops)
+            return
+        # Distributed algorithms: this robot is the manager.
+        repeat = notice.failed_id in self._handled
+        if not self._accept_failure(notice.failed_id):
+            return
+        metrics = self.runtime.metrics
+        if not repeat and self.runtime.config.resilience_enabled:
+            # A peer (now declared dead, or out of reach) may have been
+            # dispatched first; accepting the re-report re-dispatches
+            # the failure to this robot.
+            record = metrics.record_of(notice.failed_id)
+            repeat = record is not None and record.dispatch_time is not None
+        metrics.record_report(
+            notice.failed_id, self.node_id, self.sim.now, packet.hops
+        )
+        if repeat:
+            metrics.record_redispatch(notice.failed_id)
+        metrics.record_dispatch(notice.failed_id, self.node_id, self.sim.now)
+        self.enqueue(
+            RepairTask(
+                failed_id=notice.failed_id,
+                position=notice.failed_position,
+                notice=notice,
+            )
+        )
+
+    def _accept_failure(self, failed_id: NodeId) -> bool:
+        """Duplicate suppression for incoming work.
+
+        Baseline: first come only.  Resilience mode: accept a repeat as
+        long as the failure is unrepaired and not already in this
+        robot's hands — a re-dispatch after this robot (or a peer)
+        silently lost the job.
+        """
+        if not self.runtime.config.resilience_enabled:
+            if failed_id in self._handled:
+                return False
+            self._handled.add(failed_id)
+            return True
+        if self.runtime.already_repaired(failed_id):
+            return False
+        if (
+            self._current_task is not None
+            and self._current_task.failed_id == failed_id
+        ):
+            return False
+        if any(task.failed_id == failed_id for task in self._queue):
+            return False
+        self._handled.add(failed_id)
+        return True
+
+    def accept_self_dispatch(self, notice: FailureNotice) -> None:
+        """An acting-manager robot assigning a repair to itself."""
+        if not self._accept_failure(notice.failed_id):
+            return
+        self.runtime.metrics.record_request_hops(notice.failed_id, 0)
+        self.enqueue(
+            RepairTask(
+                failed_id=notice.failed_id,
+                position=notice.failed_position,
+                notice=notice,
+            )
+        )
 
     def enqueue(self, task: RepairTask) -> None:
         """Add a repair job to the FCFS queue and wake the robot."""
@@ -142,6 +229,150 @@ class RobotNode(NetworkNode):
         """True while parked waiting for work."""
         return self._wakeup is not None and not self._wakeup.triggered
 
+    def has_task(self, failed_id: NodeId) -> bool:
+        """Is *failed_id* in this robot's hands (queued or in progress)?"""
+        if (
+            self._current_task is not None
+            and self._current_task.failed_id == failed_id
+        ):
+            return True
+        return any(task.failed_id == failed_id for task in self._queue)
+
+    # ------------------------------------------------------------------
+    # Faults (resilience extension)
+    # ------------------------------------------------------------------
+    @property
+    def can_recover(self) -> bool:
+        """True for a broken robot with a scheduled recovery."""
+        return self.down and self._recovery is not None
+
+    def take_orphaned_tasks(self) -> typing.List[RepairTask]:
+        """Strip and return all work in this robot's hands (on a fault)."""
+        orphaned: typing.List[RepairTask] = []
+        if self._current_task is not None:
+            orphaned.append(self._current_task)
+            self._current_task = None
+        orphaned.extend(self._queue)
+        self._queue.clear()
+        return orphaned
+
+    def mark_down(self, permanent: bool) -> None:
+        """Break down: off the air, frozen in place, queue abandoned."""
+        if self.down or not self.alive:
+            return
+        self.down = True
+        self.alive = False
+        self._recovery = None if permanent else self.sim.event()
+        self.channel.unregister(self.node_id)
+        # Wake the maintenance loop so it parks on the recovery event
+        # (or terminates, for a permanent crash).
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def mark_up(self) -> None:
+        """Recover from a breakdown: back on the air where it stopped."""
+        if not self.down:
+            return
+        self.down = False
+        self.alive = True
+        if not self.channel.has_node(self.node_id):
+            self.channel.register(self)
+        recovery = self._recovery
+        self._recovery = None
+        if recovery is not None and not recovery.triggered:
+            recovery.succeed()
+
+    def promote_to_manager(self) -> None:
+        """Become the acting central manager after manager failure.
+
+        Seeds the fresh dispatch desk from the resilience service's
+        heartbeat evidence (last reported positions of live peers) and
+        floods a manager announcement so sensors re-point their reports
+        and peers re-register — the same network-wide flood the real
+        manager used during initialization.
+        """
+        if self.acting_manager or not self.alive:
+            return
+        from repro.core.dispatch import DispatchDesk
+
+        self.acting_manager = True
+        self.desk = DispatchDesk(self)
+        service = self.runtime.resilience
+        if service is not None:
+            for robot_id in sorted(service.last_position):
+                if robot_id == self.node_id:
+                    continue
+                if robot_id in service.declared_dead:
+                    continue
+                self.desk.register_robot(
+                    robot_id, service.last_position[robot_id]
+                )
+        self.desk.register_robot(self.node_id, self.position)
+        self.manager_id = self.node_id
+        self.manager_position = self.position
+        self.send_broadcast(
+            Category.LOCATION_UPDATE,
+            FloodMessage(
+                origin_id=self.node_id,
+                position=self.position,
+                kind="manager",
+                seq=self.next_flood_seq(),
+            ),
+        )
+
+    def demote_from_manager(self) -> None:
+        """Stop acting as manager (a manager announcement superseded us)."""
+        self.acting_manager = False
+
+    def _handle_heartbeat(self, heartbeat: Heartbeat) -> None:
+        service = self.runtime.resilience
+        if service is None:
+            return
+        service.note_heartbeat(self, heartbeat)
+        if self.acting_manager and self.desk is not None:
+            self.desk.register_robot(heartbeat.robot_id, heartbeat.position)
+            self.send_routed(
+                heartbeat.robot_id,
+                heartbeat.position,
+                Category.HEARTBEAT,
+                HeartbeatAck(
+                    manager_id=self.node_id,
+                    robot_id=heartbeat.robot_id,
+                    sent_time=self.sim.now,
+                ),
+            )
+
+    def on_broadcast_received(
+        self, packet: Packet, sender_id: NodeId, sender_position: Point
+    ) -> None:
+        if not self.runtime.config.resilience_enabled:
+            return  # Baseline robots ignore broadcasts entirely.
+        payload = packet.payload
+        if not isinstance(payload, FloodMessage) or payload.kind != "manager":
+            return
+        if payload.origin_id == self.node_id:
+            return
+        last = self._mgr_flood_seen.get(payload.origin_id, -1)
+        if payload.seq <= last:
+            return
+        self._mgr_flood_seen[payload.origin_id] = payload.seq
+        # A (new) manager announced itself: re-point, re-register, and
+        # stand down if this robot was acting as manager.
+        self.manager_id = payload.origin_id
+        self.manager_position = payload.position
+        if self.acting_manager:
+            self.demote_from_manager()
+        self.send_routed(
+            payload.origin_id,
+            payload.position,
+            Category.INITIALIZATION,
+            NodeAnnouncement(
+                node_id=self.node_id,
+                position=self.position,
+                kind=self.kind,
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Maintenance loop
     # ------------------------------------------------------------------
@@ -156,11 +387,19 @@ class RobotNode(NetworkNode):
 
     def _maintenance_loop(self) -> typing.Generator:
         while True:
+            if self.down:
+                if self._recovery is None:
+                    return  # Permanent crash: the robot is gone.
+                yield self._recovery
+                continue
             while not self._queue:
                 self._wakeup = self.sim.event()
                 if self.home is not None and self.return_after is not None:
                     timer = self.sim.timeout(self.return_after)
                     yield self.sim.any_of([self._wakeup, timer])
+                    if self.down:
+                        self._wakeup = None
+                        break
                     if not self._wakeup.triggered:
                         # Idle grace expired: head home, abandoning the
                         # trip the moment new work arrives.
@@ -168,23 +407,53 @@ class RobotNode(NetworkNode):
                         yield from self._drive_to(
                             self.home, abort_on_work=True
                         )
+                        if self.down:
+                            break
                         continue
                 else:
                     yield self._wakeup
                 self._wakeup = None
+                if self.down:
+                    break
+            if self.down:
+                continue
             task = self._queue.popleft()
+            self._current_task = task
+            if self._skip_repaired(task):
+                continue
             leg_distance = yield from self._drive_to(task.position)
+            if self.down or self._current_task is not task:
+                continue  # Broke down (or lost the job) on the way.
             if self.service_time > 0:
                 yield self.sim.timeout(self.service_time)
+                if self.down or self._current_task is not task:
+                    continue
+            if self._skip_repaired(task):
+                continue
             self.runtime.complete_replacement(self, task, leg_distance)
+            self._current_task = None
             self._report_completion(task)
             if self.capacity is not None:
                 self.spares = (self.spares or 0) - 1
                 if self.spares <= 0 and self.depot is not None:
                     yield from self._drive_to(self.depot)
+                    if self.down:
+                        continue
                     if self.reload_time > 0:
                         yield self.sim.timeout(self.reload_time)
+                        if self.down:
+                            continue
                     self.spares = self.capacity
+
+    def _skip_repaired(self, task: RepairTask) -> bool:
+        """Drop a job a peer already finished (re-dispatch races only)."""
+        if not self.runtime.config.resilience_enabled:
+            return False
+        if not self.runtime.already_repaired(task.failed_id):
+            return False
+        if self._current_task is task:
+            self._current_task = None
+        return True
 
     def _drive_to(
         self, target: Point, abort_on_work: bool = False
@@ -196,16 +465,22 @@ class RobotNode(NetworkNode):
         positions a continuous model would produce.  Returns the distance
         travelled.  With ``abort_on_work`` the drive stops at the next
         segment boundary once repair work is queued (used by the
-        return-to-post extension).
+        return-to-post extension).  A breakdown freezes the robot at the
+        last completed segment boundary (positions stay quantised to
+        update-threshold segments, so traces remain reproducible).
         """
         travelled = 0.0
         while not self.position.is_close(target, 1e-9):
+            if self.down:
+                return travelled
             if abort_on_work and self._queue:
                 return travelled
             remaining = self.position.distance_to(target)
             to_next_update = self.update_threshold - self._distance_since_update
             step = min(remaining, max(to_next_update, 1e-9))
             yield self.sim.timeout(step / self.speed)
+            if self.down:
+                return travelled
             self.move_to(self.position.towards(target, step))
             travelled += step
             self._distance_since_update += step
@@ -219,18 +494,33 @@ class RobotNode(NetworkNode):
         return travelled
 
     def _report_completion(self, task: RepairTask) -> None:
-        """Tell the manager this job finished (load-aware policies only).
+        """Tell the manager this job finished.
 
         The paper's baseline dispatch ("closest") needs no feedback, so
         no message is sent there — keeping baseline transmission counts
-        untouched.
+        untouched.  The load-aware policies need it for queue tracking,
+        and resilience mode needs it to settle completion deadlines.
         """
+        config = self.runtime.config
+        if self.acting_manager and self.desk is not None:
+            # Acting manager completing its own job: settle locally.
+            self.desk.handle_completion(
+                CompletionNotice(
+                    robot_id=self.node_id,
+                    failed_id=task.failed_id,
+                    completion_time=self.sim.now,
+                )
+            )
+            return
         if (
-            self.runtime.config.dispatch_policy == DispatchPolicy.CLOSEST
-            or self.manager_id is None
-            or self.manager_position is None
+            config.dispatch_policy == DispatchPolicy.CLOSEST
+            and not config.resilience_enabled
         ):
             return
+        if self.manager_id is None or self.manager_position is None:
+            return
+        if not self.runtime.coordination.uses_central_manager:
+            return  # Distributed: this robot was its own dispatcher.
         self.send_routed(
             self.manager_id,
             self.manager_position,

@@ -25,6 +25,7 @@ import typing
 
 from repro.core.coordination import CoordinationStrategy, strategy_for
 from repro.core.manager import CentralManagerNode
+from repro.core.messages import FloodMessage
 from repro.core.robot import RepairTask, RobotNode
 from repro.core.sensor import SensorNode
 from repro.core.traffic import DataTrafficService
@@ -38,6 +39,9 @@ from repro.deploy.scenario import (
     PlacementStyle,
     ScenarioConfig,
 )
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import ResilienceService
+from repro.faults.script import FaultKind
 from repro.geometry.point import Point
 from repro.metrics.collector import MetricsCollector, RunReport
 from repro.net.beacon import BeaconService
@@ -104,11 +108,22 @@ class ScenarioRuntime:
         self._replacement_counter = 0
         self._relay_set: typing.Optional[typing.Set[NodeId]] = None
         self._initialized = False
+        #: Failure ids whose replacement has been completed.
+        self._repaired_ids: typing.Set[NodeId] = set()
 
         # Strategy construction may consult config-derived geometry only;
         # node-dependent setup happens in initialize().
         self.coordination: CoordinationStrategy = strategy_for(self)
         self._build_nodes()
+
+        # Fault injection and self-healing (off by default; both are
+        # inert no-ops unless the config turns them on).
+        self.resilience: typing.Optional[ResilienceService] = (
+            ResilienceService(self) if config.resilience_enabled else None
+        )
+        self.faults: typing.Optional[FaultInjector] = (
+            FaultInjector(self) if config.faults_enabled else None
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -257,6 +272,12 @@ class ScenarioRuntime:
         for sensor in self.sensors_sorted():
             self.failure_process.register(sensor)
 
+        # Self-healing machinery and fault injection, when configured.
+        if self.resilience is not None:
+            self.resilience.start()
+        if self.faults is not None:
+            self.faults.start()
+
     def _start_beaconing(self, sensor: SensorNode) -> None:
         service = BeaconService(
             sensor, self.config.beacon_period_s, started=True
@@ -383,6 +404,7 @@ class ScenarioRuntime:
         if self.traffic is not None:
             self.traffic.attach(sensor)
 
+        self._repaired_ids.add(task.failed_id)
         self.metrics.record_replacement(
             task.failed_id,
             robot.node_id,
@@ -399,6 +421,141 @@ class ScenarioRuntime:
                 new_node=new_id,
                 leg_distance=leg_distance,
             )
+
+    # ------------------------------------------------------------------
+    # Robot faults & recovery (extension; inert unless configured)
+    # ------------------------------------------------------------------
+    def already_repaired(self, failed_id: NodeId) -> bool:
+        """Has *failed_id*'s replacement already been placed?"""
+        return failed_id in self._repaired_ids
+
+    def fail_robot(
+        self,
+        robot: RobotNode,
+        kind: str,
+        downtime_s: typing.Optional[float],
+    ) -> None:
+        """Break *robot* now; ``downtime_s=None`` means permanently.
+
+        The robot drops off the air immediately (mid-drive, mid-repair,
+        or idle); its queued tasks are orphaned and will be recovered by
+        heartbeat-silence detection, dispatch deadlines, or the
+        reconciler — never by this function peeking at global state.
+        """
+        if not robot.alive:
+            return
+        now = self.sim.now
+        orphaned = robot.take_orphaned_tasks()
+        robot.mark_down(permanent=downtime_s is None)
+        self.metrics.record_robot_fault(
+            robot.node_id, kind, now, permanent=downtime_s is None
+        )
+        if self.tracer.active:
+            self.tracer.emit(
+                "robot_fault",
+                time=now,
+                robot=robot.node_id,
+                kind=kind,
+                permanent=downtime_s is None,
+                orphaned=len(orphaned),
+            )
+        if downtime_s is not None:
+            self.sim.call_in(downtime_s, lambda: self.recover_robot(robot))
+
+    def recover_robot(self, robot: RobotNode) -> None:
+        """A broken (non-permanent) robot comes back into service."""
+        if not robot.down:
+            return
+        robot.mark_up()
+        now = self.sim.now
+        self.metrics.record_robot_recovery(robot.node_id, now)
+        if self.tracer.active:
+            self.tracer.emit(
+                "robot_recovered", time=now, robot=robot.node_id
+            )
+        if self.resilience is not None:
+            self.resilience.on_robot_recovered(robot)
+
+    def fail_manager(self, downtime_s: typing.Optional[float]) -> None:
+        """Kill the central manager (centralized algorithm only)."""
+        manager = self.manager
+        if manager is None or not manager.alive:
+            return
+        now = self.sim.now
+        manager.alive = False
+        self.channel.unregister(manager.node_id)
+        self.metrics.record_robot_fault(
+            manager.node_id,
+            FaultKind.MANAGER_DOWN,
+            now,
+            permanent=downtime_s is None,
+        )
+        if self.tracer.active:
+            self.tracer.emit(
+                "manager_fault",
+                time=now,
+                manager=manager.node_id,
+                permanent=downtime_s is None,
+            )
+        if downtime_s is not None:
+            self.sim.call_in(downtime_s, lambda: self.recover_manager())
+
+    def recover_manager(self) -> None:
+        """Restart the central manager; it re-announces itself."""
+        manager = self.manager
+        if manager is None or manager.alive:
+            return
+        manager.alive = True
+        if not self.channel.has_node(manager.node_id):
+            self.channel.register(manager)
+        now = self.sim.now
+        self.metrics.record_robot_recovery(manager.node_id, now)
+        if self.tracer.active:
+            self.tracer.emit(
+                "manager_recovered", time=now, manager=manager.node_id
+            )
+        # Network-wide re-announcement: sensors and robots repoint to
+        # the restarted manager (robots demote any acting manager).
+        manager.send_broadcast(
+            Category.LOCATION_UPDATE,
+            FloodMessage(
+                origin_id=manager.node_id,
+                position=manager.position,
+                kind="manager",
+                seq=manager.next_flood_seq(),
+            ),
+        )
+        if self.resilience is not None:
+            self.resilience.on_manager_recovered()
+
+    def dispatching_desk(self) -> typing.Optional[typing.Any]:
+        """The currently authoritative dispatch desk, if any.
+
+        The static manager's desk while it is alive, else the acting
+        manager's (lowest robot id wins a tie, though promotion keeps a
+        single acting manager).  ``None`` under distributed algorithms.
+        """
+        if self.manager is not None and self.manager.alive:
+            return self.manager.desk
+        for robot in self.robots_sorted():
+            if robot.alive and robot.acting_manager and robot.desk is not None:
+                return robot.desk
+        return None
+
+    def declare_orphaned(self, failed_id: NodeId, reason: str) -> None:
+        """Mark a failure as permanently unserviceable (explicitly)."""
+        now = self.sim.now
+        self.metrics.record_orphaned(failed_id, reason, now)
+        if self.tracer.active:
+            self.tracer.emit(
+                "orphaned", time=now, failed=failed_id, reason=reason
+            )
+
+    def nearest_live_sensor(
+        self, position: Point, exclude: NodeId = ""
+    ) -> typing.Optional[SensorNode]:
+        """Public accessor for the nearest live sensor to *position*."""
+        return self._nearest_live_sensor(position, exclude=exclude)
 
     # ------------------------------------------------------------------
     # Efficient broadcast (extension; paper future work)

@@ -64,6 +64,11 @@ class SensorNode(NetworkNode):
         self._last_beacon: typing.Dict[NodeId, float] = {}
         #: Failures this sensor has already reported (suppress repeats).
         self._reported: typing.Set[NodeId] = set()
+        #: Reports awaiting repair evidence (resilience mode only):
+        #: failed_id -> (position, attempt, detect_time).
+        self._pending_reports: typing.Dict[
+            NodeId, typing.Tuple[Point, int, float]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Receive hooks
@@ -163,22 +168,90 @@ class SensorNode(NetworkNode):
         self.runtime.metrics.record_detection(
             failed_id, self.node_id, self.sim.now
         )
+        self._send_report(failed_id, failed_position, self.sim.now)
+
+    def _send_report(
+        self,
+        failed_id: NodeId,
+        failed_position: Point,
+        detect_time: float,
+        attempt: int = 0,
+    ) -> None:
         notice = FailureNotice(
             failed_id=failed_id,
             failed_position=failed_position,
             guardian_id=self.node_id,
-            detect_time=self.sim.now,
+            detect_time=detect_time,
         )
         target = self.runtime.coordination.report_target(self)
-        if target is None:
+        if target is not None:
+            target_id, target_position = target
+            self.send_routed(
+                target_id,
+                target_position,
+                Category.FAILURE_REPORT,
+                notice,
+            )
+        elif not self.runtime.config.resilience_enabled:
             return  # No manager known — detection recorded, report lost.
-        target_id, target_position = target
-        self.send_routed(
-            target_id,
-            target_position,
-            Category.FAILURE_REPORT,
-            notice,
+        # Resilience mode: watch for repair evidence and re-send to the
+        # then-current manager if none appears (covers a lost report, a
+        # dead dispatcher, or a dead maintainer).  A missing target now
+        # may well resolve by the retry (e.g. a takeover flood arrives).
+        if self.runtime.config.resilience_enabled:
+            self._pending_reports[failed_id] = (
+                failed_position, attempt, detect_time
+            )
+            self._watch_report(failed_id, attempt)
+
+    def _watch_report(self, failed_id: NodeId, attempt: int) -> None:
+        config = self.runtime.config
+        delay = config.effective_repair_deadline_s + (
+            config.redispatch_backoff_s * (2.0 ** attempt)
         )
+        self.sim.call_in(
+            delay, lambda: self._check_report(failed_id, attempt)
+        )
+
+    def _check_report(self, failed_id: NodeId, attempt: int) -> None:
+        pending = self._pending_reports.get(failed_id)
+        if pending is None or pending[1] != attempt:
+            return  # Settled or superseded.
+        if not self.alive:
+            return
+        if self.runtime.already_repaired(failed_id):
+            self._pending_reports.pop(failed_id, None)
+            return
+        if attempt >= self.runtime.config.redispatch_limit:
+            # Budget spent: stop retrying; the runtime reconciler takes
+            # over (and ultimately declares the failure orphaned).
+            self._pending_reports.pop(failed_id, None)
+            return
+        position, _attempt, detect_time = pending
+        self._send_report(
+            failed_id, position, detect_time, attempt=attempt + 1
+        )
+
+    def file_report(
+        self, failed_id: NodeId, failed_position: Point
+    ) -> None:
+        """Report a failure on the reconciler's behalf (escalation).
+
+        Used when every earlier custodian of the failure is gone; this
+        sensor adopts the report as if it had detected the failure
+        itself.
+        """
+        if not self.alive:
+            return
+        self._reported.add(failed_id)
+        self.runtime.metrics.record_detection(
+            failed_id, self.node_id, self.sim.now
+        )
+        self._send_report(failed_id, failed_position, self.sim.now)
+
+    def has_pending_report(self, failed_id: NodeId) -> bool:
+        """Is this sensor still watching a report for *failed_id*?"""
+        return failed_id in self._pending_reports
 
     def start_beacon_watch(self) -> None:
         """Run the per-period guardian/guardee liveness checks.
@@ -225,8 +298,10 @@ class SensorNode(NetworkNode):
     # Location-update floods
     # ------------------------------------------------------------------
     def _handle_flood(self, packet: Packet, flood: FloodMessage) -> None:
-        if packet.source == flood.origin_id:
+        if packet.source == flood.origin_id and flood.subject is None:
             # Heard the robot itself: it is a one-hop neighbour right now.
+            # (Subject-bearing floods announce someone *else's* state, so
+            # the position must not be attributed to the origin.)
             self.neighbor_table.upsert(
                 flood.origin_id, flood.position, flood.kind, self.sim.now
             )
@@ -249,6 +324,16 @@ class SensorNode(NetworkNode):
         if flood.kind == "manager":
             self.manager_id = flood.origin_id
             self.manager_position = flood.position
+            return
+        if flood.subject is not None:
+            # An obituary: a monitor announcing *subject*'s death at its
+            # last known position.  Forget the dead robot and let the
+            # strategy re-point myrobot (dynamic Voronoi re-partition).
+            self.known_robots.pop(flood.subject, None)
+            if self.myrobot_id == flood.subject:
+                self.myrobot_id = None
+                self.myrobot_position = None
+            self.runtime.coordination.on_flood_learned(self, flood)
             return
         known = self.known_robots.get(flood.origin_id)
         if known is None or flood.seq >= known[1]:

@@ -13,6 +13,7 @@ import dataclasses
 import math
 import typing
 
+from repro.faults.script import FaultEvent, normalize_fault_script
 from repro.geometry.polygon import Rect
 
 __all__ = [
@@ -169,6 +170,36 @@ class ScenarioConfig:
     #: their last repair ended.
     return_to_post_after_s: typing.Optional[float] = None
 
+    # --- faults & resilience (extension; default = paper's fault-free
+    # fleet, bit-identical to the pre-fault simulator) -----------------
+    #: Mean time between robot failures, Exp-distributed per robot.
+    #: None (default) disables stochastic robot faults.
+    robot_mtbf_s: typing.Optional[float] = None
+    #: Default downtime of a recoverable robot fault (battery faults
+    #: take twice this).
+    robot_downtime_s: float = 900.0
+    #: Probability that a stochastic robot fault is a permanent crash.
+    robot_fault_permanent_p: float = 0.0
+    #: Scripted fault campaign: a canonically-sorted tuple of
+    #: :class:`repro.faults.FaultEvent` (dicts accepted and coerced).
+    fault_script: typing.Optional[typing.Tuple[FaultEvent, ...]] = None
+    #: Force the self-healing layer (heartbeats, deadlines, re-dispatch)
+    #: on or off; None (default) enables it exactly when faults are
+    #: configured.
+    resilience: typing.Optional[bool] = None
+    #: Robot→manager (or ring-successor) heartbeat period.
+    heartbeat_period_s: float = 60.0
+    #: Silent heartbeat periods before a robot is declared dead.
+    missed_heartbeats_for_failure: int = 3
+    #: Deadline for a dispatched repair before the dispatcher re-sends;
+    #: None derives a bound from field diagonal / speed plus detection
+    #: slack (see :attr:`effective_repair_deadline_s`).
+    repair_deadline_s: typing.Optional[float] = None
+    #: Base of the exponential re-dispatch backoff.
+    redispatch_backoff_s: float = 120.0
+    #: Re-dispatch budget per failure before it is recorded as orphaned.
+    redispatch_limit: int = 3
+
     def __post_init__(self) -> None:
         if self.algorithm not in Algorithm.ALL:
             raise ValueError(f"unknown algorithm: {self.algorithm!r}")
@@ -208,6 +239,47 @@ class ScenarioConfig:
                 "return-to-post delay must be non-negative: "
                 f"{self.return_to_post_after_s}"
             )
+        if self.robot_mtbf_s is not None and self.robot_mtbf_s <= 0:
+            raise ValueError(
+                f"robot MTBF must be positive: {self.robot_mtbf_s}"
+            )
+        if self.robot_downtime_s <= 0:
+            raise ValueError(
+                f"robot downtime must be positive: {self.robot_downtime_s}"
+            )
+        if not 0.0 <= self.robot_fault_permanent_p <= 1.0:
+            raise ValueError(
+                "permanent-fault probability must be in [0, 1]: "
+                f"{self.robot_fault_permanent_p}"
+            )
+        if self.fault_script is not None:
+            script = normalize_fault_script(self.fault_script)
+            object.__setattr__(
+                self, "fault_script", script if script else None
+            )
+        if self.heartbeat_period_s <= 0:
+            raise ValueError(
+                f"heartbeat period must be positive: "
+                f"{self.heartbeat_period_s}"
+            )
+        if self.missed_heartbeats_for_failure < 1:
+            raise ValueError(
+                "need at least one missed heartbeat for failure: "
+                f"{self.missed_heartbeats_for_failure}"
+            )
+        if self.repair_deadline_s is not None and self.repair_deadline_s <= 0:
+            raise ValueError(
+                f"repair deadline must be positive: {self.repair_deadline_s}"
+            )
+        if self.redispatch_backoff_s <= 0:
+            raise ValueError(
+                "re-dispatch backoff must be positive: "
+                f"{self.redispatch_backoff_s}"
+            )
+        if self.redispatch_limit < 0:
+            raise ValueError(
+                f"re-dispatch limit must be >= 0: {self.redispatch_limit}"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -239,6 +311,43 @@ class ScenarioConfig:
         p = self.beacon_period_s
         return (k * p, (k + 1) * p)
 
+    # ------------------------------------------------------------------
+    # Faults & resilience
+    # ------------------------------------------------------------------
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any fault source (stochastic or scripted) is set."""
+        return self.robot_mtbf_s is not None or bool(self.fault_script)
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """Whether the self-healing layer runs.
+
+        Follows :attr:`faults_enabled` unless :attr:`resilience` forces
+        it — forcing it *on* without faults exercises the machinery's
+        overhead; forcing it *off* with faults measures the unprotected
+        baseline.
+        """
+        if self.resilience is not None:
+            return self.resilience
+        return self.faults_enabled
+
+    @property
+    def effective_repair_deadline_s(self) -> float:
+        """Deadline before a dispatched repair is presumed lost.
+
+        The derived default bounds the worst honest repair: crossing the
+        field diagonal at robot speed, plus the heartbeat-based failure
+        detection window, plus a flat slack for queueing and routing.
+        """
+        if self.repair_deadline_s is not None:
+            return self.repair_deadline_s
+        diagonal = math.hypot(self.area_side_m, self.area_side_m)
+        detection = self.heartbeat_period_s * (
+            self.missed_heartbeats_for_failure + 1
+        )
+        return diagonal / self.robot_speed_mps + detection + 60.0
+
     def replace(self, **changes: typing.Any) -> "ScenarioConfig":
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
@@ -263,6 +372,8 @@ class ScenarioConfig:
                 and "float" in str(field.type)
             ):
                 value = float(value)
+            if field.name == "fault_script" and value is not None:
+                value = [event.to_json_dict() for event in value]
             data[field.name] = value
         return data
 
@@ -284,17 +395,29 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown ScenarioConfig fields: {', '.join(unknown)}"
             )
-        return cls(**dict(data))
+        fields = dict(data)
+        script = fields.get("fault_script")
+        if script is not None:
+            fields["fault_script"] = normalize_fault_script(script)
+        return cls(**fields)
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             f"{self.algorithm} | {self.robot_count} robots | "
             f"{self.sensor_count} sensors | "
             f"{self.area_side_m:.0f}m x {self.area_side_m:.0f}m | "
             f"T={self.mean_lifetime_s:.0f}s | "
             f"sim={self.sim_time_s:.0f}s | seed={self.seed}"
         )
+        if self.faults_enabled:
+            parts = []
+            if self.robot_mtbf_s is not None:
+                parts.append(f"MTBF={self.robot_mtbf_s:.0f}s")
+            if self.fault_script:
+                parts.append(f"script={len(self.fault_script)} events")
+            text += " | faults: " + ", ".join(parts)
+        return text
 
 
 def paper_scenario(

@@ -15,6 +15,7 @@ from repro.experiments.figures import (
     figure4_update_transmissions,
 )
 from repro.experiments.render import render_series_table, render_table
+from repro.experiments.resilience import figure_resilience
 from repro.experiments.runner import (
     CacheStats,
     SweepPoint,
@@ -39,6 +40,7 @@ __all__ = [
     "figure2_motion_overhead",
     "figure3_hops",
     "figure4_update_transmissions",
+    "figure_resilience",
     "render_series_table",
     "render_table",
     "run_config",

@@ -54,11 +54,14 @@ class FigureResult:
     series: typing.Dict[str, typing.Tuple[float, ...]]
     claims: typing.Tuple[ClaimCheck, ...]
     sweep_result: SweepResult
+    #: Label of the x axis (the paper figures sweep robot counts; the
+    #: resilience extension sweeps robot MTBF instead).
+    x_label: str = "robots"
 
     def render(self) -> str:
         """The figure as a text table plus claim checklist."""
         table = render_series_table(
-            "robots",
+            self.x_label,
             list(self.x_values),
             {name: list(values) for name, values in self.series.items()},
             title=self.figure,

@@ -1,0 +1,40 @@
+"""Stochastic robot fault models.
+
+The paper's sensor lifetimes are Exp(T); the fleet gets the same
+treatment: a robot's time between failures is Exp(MTBF), and each fault
+is a permanent crash with a small probability (otherwise a recoverable
+breakdown).  All draws come from the named random stream the caller
+passes in, so runs stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.faults.script import FaultKind
+from repro.sim.rng import RandomStream
+
+__all__ = ["ExponentialFaultModel"]
+
+
+class ExponentialFaultModel:
+    """Exponential time-between-failures with a permanent-crash mix."""
+
+    def __init__(self, mtbf_s: float, permanent_p: float = 0.0) -> None:
+        if mtbf_s <= 0:
+            raise ValueError(f"MTBF must be positive: {mtbf_s}")
+        if not 0.0 <= permanent_p <= 1.0:
+            raise ValueError(
+                f"permanent-fault probability must be in [0, 1]: "
+                f"{permanent_p}"
+            )
+        self.mtbf_s = mtbf_s
+        self.permanent_p = permanent_p
+
+    def next_interval(self, rng: RandomStream) -> float:
+        """Draw the time until the next fault."""
+        return rng.expovariate(1.0 / self.mtbf_s)
+
+    def draw_kind(self, rng: RandomStream) -> str:
+        """Draw the fault kind (crash w.p. ``permanent_p``)."""
+        if self.permanent_p > 0.0 and rng.random() < self.permanent_p:
+            return FaultKind.CRASH
+        return FaultKind.BREAKDOWN

@@ -1,0 +1,167 @@
+"""Scripted fault campaigns: ordered ``(time, target, kind)`` events.
+
+A :class:`FaultEvent` names one thing that breaks at one simulated time.
+Scripts are carried inside :class:`~repro.deploy.ScenarioConfig` (as a
+normalised tuple, sorted so equal campaigns content-hash equally in
+``repro.store``) and can be loaded from JSON files for the CLI's
+``--fault-script`` flag.
+
+This module is dependency-free below :mod:`repro.geometry` level on
+purpose: the scenario config imports it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "normalize_fault_script",
+    "parse_fault_script",
+    "dump_fault_script",
+    "load_fault_script",
+    "resolve_downtime",
+]
+
+
+class FaultKind:
+    """What breaks when a :class:`FaultEvent` fires.
+
+    * ``BREAKDOWN`` — a robot halts where it is (en-route or parked) and
+      recovers after a downtime (``duration`` or the config default).
+    * ``CRASH`` — a robot dies permanently (``duration`` must be None).
+    * ``BATTERY`` — battery depletion: like a breakdown but with twice
+      the default downtime (a recharge, not a field fix).
+    * ``MANAGER_DOWN`` — the central manager goes dark; with a
+      ``duration`` it restarts, without one it stays dead.
+    """
+
+    BREAKDOWN = "breakdown"
+    CRASH = "crash"
+    BATTERY = "battery"
+    MANAGER_DOWN = "manager_down"
+
+    ALL = (BREAKDOWN, CRASH, BATTERY, MANAGER_DOWN)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scripted fault: *target* suffers *kind* at simulated *time*.
+
+    ``duration`` overrides the config's default downtime; None means
+    "use the default" for recoverable kinds and "permanent" for
+    ``CRASH`` and ``MANAGER_DOWN``.
+    """
+
+    time: float
+    target: str
+    kind: str
+    duration: typing.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0: {self.time}")
+        if not self.target:
+            raise ValueError("fault target must be a node id")
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"fault duration must be positive: {self.duration}"
+            )
+        if self.kind == FaultKind.CRASH and self.duration is not None:
+            raise ValueError("a crash is permanent: duration must be None")
+
+    @property
+    def sort_key(self) -> typing.Tuple[float, str, str]:
+        """Canonical ordering: by time, then target, then kind."""
+        return (self.time, self.target, self.kind)
+
+    # ------------------------------------------------------------------
+    # JSON round trip (repro.store digest preimage)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "time": float(self.time),
+            "target": self.target,
+            "kind": self.kind,
+            "duration": (
+                float(self.duration) if self.duration is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, data: typing.Mapping[str, typing.Any]
+    ) -> "FaultEvent":
+        known = {"time", "target", "kind", "duration"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FaultEvent fields: {', '.join(unknown)}"
+            )
+        duration = data.get("duration")
+        return cls(
+            time=float(data["time"]),
+            target=str(data["target"]),
+            kind=str(data["kind"]),
+            duration=float(duration) if duration is not None else None,
+        )
+
+
+def normalize_fault_script(
+    events: typing.Iterable[typing.Union[FaultEvent, typing.Mapping]],
+) -> typing.Tuple[FaultEvent, ...]:
+    """Coerce *events* (FaultEvents or plain dicts) to the canonical
+    sorted tuple used inside :class:`~repro.deploy.ScenarioConfig`."""
+    coerced = [
+        event
+        if isinstance(event, FaultEvent)
+        else FaultEvent.from_json_dict(event)
+        for event in events
+    ]
+    return tuple(sorted(coerced, key=lambda event: event.sort_key))
+
+
+def parse_fault_script(
+    data: typing.Sequence[typing.Mapping[str, typing.Any]],
+) -> typing.Tuple[FaultEvent, ...]:
+    """Parse a JSON-decoded list of event dicts into a script."""
+    return normalize_fault_script(data)
+
+
+def dump_fault_script(
+    events: typing.Sequence[FaultEvent],
+) -> typing.List[typing.Dict[str, typing.Any]]:
+    """The JSON-native form of a script (a list of event dicts)."""
+    return [event.to_json_dict() for event in normalize_fault_script(events)]
+
+
+def load_fault_script(path: str) -> typing.Tuple[FaultEvent, ...]:
+    """Load a script from a JSON file: ``[{"time": ..., "target": ...,
+    "kind": ..., "duration": ...}, ...]``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ValueError(
+            f"fault script must be a JSON list of events: {path}"
+        )
+    return parse_fault_script(data)
+
+
+def resolve_downtime(
+    event: FaultEvent, default_downtime_s: float
+) -> typing.Optional[float]:
+    """How long *event*'s victim stays down; None means forever."""
+    if event.kind == FaultKind.CRASH:
+        return None
+    if event.kind == FaultKind.MANAGER_DOWN:
+        return event.duration
+    if event.duration is not None:
+        return event.duration
+    if event.kind == FaultKind.BATTERY:
+        return 2.0 * default_downtime_s
+    return default_downtime_s

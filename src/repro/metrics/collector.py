@@ -22,7 +22,12 @@ from repro.net.channel import Channel
 from repro.net.frames import Category
 from repro.routing.stats import RoutingStats
 
-__all__ = ["FailureRecord", "MetricsCollector", "RunReport"]
+__all__ = [
+    "FailureRecord",
+    "MetricsCollector",
+    "RobotFaultRecord",
+    "RunReport",
+]
 
 
 @dataclasses.dataclass(slots=True)
@@ -43,6 +48,12 @@ class FailureRecord:
     travel_distance: typing.Optional[float] = None
     replace_time: typing.Optional[float] = None
     replacement_id: typing.Optional[str] = None
+    #: Times this failure was dispatched *again* after the first try
+    #: (robot breakdowns, missed deadlines).  Resilience extension.
+    redispatches: int = 0
+    #: Set when the failure was explicitly given up on, with the reason.
+    orphan_reason: typing.Optional[str] = None
+    orphan_time: typing.Optional[float] = None
 
     @property
     def repaired(self) -> bool:
@@ -85,6 +96,22 @@ class FailureRecord:
         return cls(**fields)
 
 
+@dataclasses.dataclass(slots=True)
+class RobotFaultRecord:
+    """One robot (or manager) fault and its detection/recovery times.
+
+    Collector-internal: robot faults summarise into :class:`RunReport`
+    counters but are not serialized per-record.
+    """
+
+    robot_id: str
+    kind: str
+    time: float
+    permanent: bool
+    detect_time: typing.Optional[float] = None
+    recover_time: typing.Optional[float] = None
+
+
 class MetricsCollector:
     """Accumulates :class:`FailureRecord` entries during a run.
 
@@ -98,6 +125,7 @@ class MetricsCollector:
         #: Total distance travelled per robot (includes repositioning
         #: that is not attributable to a single failure).
         self.robot_distance: typing.Dict[str, float] = {}
+        self._robot_faults: typing.List[RobotFaultRecord] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -168,6 +196,54 @@ class MetricsCollector:
             record.replacement_id = replacement_id
 
     # ------------------------------------------------------------------
+    # Recording: robot faults & recovery (resilience extension)
+    # ------------------------------------------------------------------
+    def record_robot_fault(
+        self, robot_id: str, kind: str, time: float, permanent: bool
+    ) -> None:
+        """Robot (or manager) *robot_id* broke down."""
+        self._robot_faults.append(
+            RobotFaultRecord(
+                robot_id=robot_id, kind=kind, time=time, permanent=permanent
+            )
+        )
+
+    def record_robot_fault_detected(self, robot_id: str, time: float) -> None:
+        """Peers declared *robot_id* dead (heartbeat silence)."""
+        for fault in self._robot_faults:
+            if fault.robot_id == robot_id and fault.detect_time is None:
+                fault.detect_time = time
+                return
+
+    def record_robot_recovery(self, robot_id: str, time: float) -> None:
+        """Robot (or manager) *robot_id* came back into service."""
+        for fault in self._robot_faults:
+            if fault.robot_id == robot_id and fault.recover_time is None:
+                fault.recover_time = time
+                return
+
+    def record_redispatch(self, node_id: str) -> None:
+        """The failure of *node_id* had to be dispatched again."""
+        record = self._records.get(node_id)
+        if record is not None:
+            record.redispatches += 1
+
+    def record_orphaned(self, node_id: str, reason: str, time: float) -> None:
+        """The failure of *node_id* was explicitly given up on."""
+        record = self._records.get(node_id)
+        if (
+            record is not None
+            and not record.repaired
+            and record.orphan_reason is None
+        ):
+            record.orphan_reason = reason
+            record.orphan_time = time
+
+    def robot_faults(self) -> typing.List[RobotFaultRecord]:
+        """All robot fault records in occurrence order."""
+        return list(self._robot_faults)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def records(self) -> typing.List[FailureRecord]:
@@ -211,6 +287,9 @@ class MetricsCollector:
             Category.LOCATION_UPDATE, 0
         )
         denominator = max(len(repaired), 1)
+        detected_faults = [
+            f for f in self._robot_faults if f.detect_time is not None
+        ]
         return RunReport(
             description=config_describe,
             failures=len(records),
@@ -228,6 +307,20 @@ class MetricsCollector:
             total_robot_distance=sum(self.robot_distance.values()),
             transmissions_by_category=dict(channel.stats.transmissions),
             routing_snapshot=routing.snapshot(),
+            robot_faults=len(self._robot_faults),
+            robot_faults_detected=len(detected_faults),
+            robot_recoveries=sum(
+                1
+                for f in self._robot_faults
+                if f.recover_time is not None
+            ),
+            mean_fault_detection_latency_s=_mean(
+                [f.detect_time - f.time for f in detected_faults]
+            ),
+            redispatches=sum(r.redispatches for r in records),
+            orphaned=sum(
+                1 for r in records if r.orphan_reason is not None
+            ),
         )
 
 
@@ -252,10 +345,24 @@ class RunReport:
     total_robot_distance: float
     transmissions_by_category: typing.Dict[str, int]
     routing_snapshot: typing.Dict[str, typing.Any]
+    #: Resilience metrics (all zero/NaN when faults are disabled).
+    robot_faults: int = 0
+    robot_faults_detected: int = 0
+    robot_recoveries: int = 0
+    mean_fault_detection_latency_s: float = float("nan")
+    redispatches: int = 0
+    orphaned: int = 0
+
+    @property
+    def unrepaired_fraction(self) -> float:
+        """Fraction of failures never repaired (0.0 with no failures)."""
+        if self.failures == 0:
+            return 0.0
+        return (self.failures - self.repaired) / self.failures
 
     def summary_lines(self) -> typing.List[str]:
         """Human-readable multi-line summary."""
-        return [
+        lines = [
             f"scenario: {self.description}",
             f"failures: {self.failures} "
             f"(detected {self.detected}, reported {self.reported}, "
@@ -268,6 +375,20 @@ class RunReport:
             f"{self.update_transmissions_per_failure:.1f}",
             f"report delivery ratio: {self.report_delivery_ratio:.3f}",
         ]
+        if self.robot_faults or self.redispatches or self.orphaned:
+            lines.append(
+                f"robot faults: {self.robot_faults} "
+                f"(detected {self.robot_faults_detected}, "
+                f"recovered {self.robot_recoveries}); "
+                f"detection latency: "
+                f"{self.mean_fault_detection_latency_s:.1f} s"
+            )
+            lines.append(
+                f"re-dispatches: {self.redispatches}; "
+                f"orphaned failures: {self.orphaned}; "
+                f"unrepaired fraction: {self.unrepaired_fraction:.3f}"
+            )
+        return lines
 
     # ------------------------------------------------------------------
     # Versioned JSON serialization (repro.store)

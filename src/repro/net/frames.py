@@ -62,6 +62,7 @@ class Category:
     COMPLETION = "completion"
     DATA = "data"
     ACK = "ack"
+    HEARTBEAT = "heartbeat"
 
     #: All categories, for iteration in reports.
     ALL = (
@@ -74,6 +75,7 @@ class Category:
         COMPLETION,
         DATA,
         ACK,
+        HEARTBEAT,
     )
 
 

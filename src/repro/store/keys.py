@@ -25,7 +25,9 @@ __all__ = ["STORE_SCHEMA_VERSION", "canonical_json", "config_digest"]
 #: Version of the on-disk entry format *and* of the digest preimage.
 #: Bump whenever the serialised config/report schema changes, or when a
 #: simulator change alters what a cached result means.
-STORE_SCHEMA_VERSION = 1
+#: 2: fault-injection config fields (robot MTBF, fault scripts,
+#: heartbeat/redispatch tuning) and resilience metrics in RunReport.
+STORE_SCHEMA_VERSION = 2
 
 
 def canonical_json(value: typing.Any) -> str:

@@ -1,0 +1,63 @@
+"""Liveness property under chaos: no sensor failure is silently dropped.
+
+With lossy links, stochastic (recoverable) robot breakdowns, and at
+least two robots, every sensor failure old enough to have exhausted the
+full redispatch/escalation ladder must end up either repaired or
+explicitly orphaned — whatever the seed draws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import ScenarioRuntime
+from repro.deploy.scenario import Algorithm, paper_scenario
+from repro.faults.recovery import MAX_ESCALATIONS
+
+ALGORITHMS = [Algorithm.CENTRALIZED, Algorithm.FIXED, Algorithm.DYNAMIC]
+
+
+class TestFaultLiveness:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        loss_rate=st.sampled_from([0.02, 0.05, 0.1]),
+    )
+    def test_every_failure_repaired_or_orphaned(
+        self, algorithm, seed, loss_rate
+    ):
+        config = paper_scenario(
+            algorithm,
+            4,
+            seed=seed,
+            sensors_per_robot=25,
+            placement="grid",
+            sim_time_s=12_000.0,
+            loss_rate=loss_rate,
+            robot_mtbf_s=4_000.0,
+            robot_downtime_s=600.0,
+            repair_deadline_s=400.0,
+            redispatch_backoff_s=60.0,
+            heartbeat_period_s=30.0,
+        )
+        runtime = ScenarioRuntime(config)
+        report = runtime.run()
+        assert report.failures > 0
+        assert report.robot_faults > 0  # the chaos actually ran
+        # A failure may walk the full redispatch ladder once per
+        # escalation round before being given up on; anything older
+        # than that must have resolved one way or the other.
+        ladder = runtime.resilience.give_up_age_s
+        margin = (MAX_ESCALATIONS + 1) * ladder + 1_000.0
+        unresolved = [
+            record
+            for record in runtime.metrics.records()
+            if record.death_time < config.sim_time_s - margin
+            and not record.repaired
+            and record.orphan_time is None
+        ]
+        assert unresolved == [], (
+            f"{algorithm} seed={seed} loss={loss_rate}: silently "
+            f"dropped: {[record.node_id for record in unresolved]}"
+        )

@@ -1,0 +1,283 @@
+"""Unit tests for the fault-injection subsystem: fault scripts, the
+stochastic model, and the scenario-config plumbing (serialization,
+digests, and the enable/disable switches)."""
+
+import json
+import math
+
+import pytest
+
+from repro.deploy.scenario import Algorithm, paper_scenario
+from repro.faults import (
+    ExponentialFaultModel,
+    FaultEvent,
+    FaultKind,
+    dump_fault_script,
+    load_fault_script,
+    normalize_fault_script,
+    parse_fault_script,
+    resolve_downtime,
+)
+from repro.sim.rng import RandomStreams
+from repro.store.keys import config_digest
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        event = FaultEvent(
+            time=10.0, target="robot-00", kind=FaultKind.BREAKDOWN
+        )
+        assert event.duration is None
+        assert event.sort_key == (10.0, "robot-00", FaultKind.BREAKDOWN)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, target="r", kind=FaultKind.BREAKDOWN)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, target="", kind=FaultKind.BREAKDOWN)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, target="r", kind="meltdown")
+
+    def test_crash_with_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                time=0.0, target="r", kind=FaultKind.CRASH, duration=5.0
+            )
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                time=0.0,
+                target="r",
+                kind=FaultKind.BREAKDOWN,
+                duration=0.0,
+            )
+
+    def test_json_round_trip(self):
+        event = FaultEvent(
+            time=3.0,
+            target="robot-01",
+            kind=FaultKind.BATTERY,
+            duration=120.0,
+        )
+        assert FaultEvent.from_json_dict(event.to_json_dict()) == event
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            FaultEvent.from_json_dict(
+                {
+                    "time": 0.0,
+                    "target": "r",
+                    "kind": FaultKind.BREAKDOWN,
+                    "severity": 11,
+                }
+            )
+
+
+class TestScriptHelpers:
+    def test_normalize_sorts_and_accepts_dicts(self):
+        events = normalize_fault_script(
+            [
+                {"time": 9.0, "target": "b", "kind": FaultKind.CRASH},
+                FaultEvent(
+                    time=1.0, target="a", kind=FaultKind.BREAKDOWN
+                ),
+            ]
+        )
+        assert [e.time for e in events] == [1.0, 9.0]
+        assert all(isinstance(e, FaultEvent) for e in events)
+
+    def test_dump_parse_round_trip(self):
+        script = normalize_fault_script(
+            [
+                {"time": 5.0, "target": "robot-00", "kind": "breakdown"},
+                {"time": 7.0, "target": "manager-00",
+                 "kind": "manager_down", "duration": 100.0},
+            ]
+        )
+        assert parse_fault_script(dump_fault_script(script)) == script
+
+    def test_load_fault_script(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(
+            json.dumps(
+                [{"time": 2.0, "target": "robot-01", "kind": "battery"}]
+            )
+        )
+        script = load_fault_script(str(path))
+        assert len(script) == 1
+        assert script[0].kind == FaultKind.BATTERY
+
+    def test_resolve_downtime(self):
+        crash = FaultEvent(time=0.0, target="r", kind=FaultKind.CRASH)
+        assert resolve_downtime(crash, 100.0) is None
+        breakdown = FaultEvent(
+            time=0.0, target="r", kind=FaultKind.BREAKDOWN
+        )
+        assert resolve_downtime(breakdown, 100.0) == 100.0
+        battery = FaultEvent(
+            time=0.0, target="r", kind=FaultKind.BATTERY
+        )
+        assert resolve_downtime(battery, 100.0) == 200.0
+        explicit = FaultEvent(
+            time=0.0,
+            target="r",
+            kind=FaultKind.BREAKDOWN,
+            duration=42.0,
+        )
+        assert resolve_downtime(explicit, 100.0) == 42.0
+
+
+class TestExponentialFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialFaultModel(mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            ExponentialFaultModel(mtbf_s=10.0, permanent_p=1.5)
+
+    def test_deterministic_given_stream(self):
+        model = ExponentialFaultModel(mtbf_s=1_000.0)
+        draws_a = [
+            model.next_interval(RandomStreams(7).stream("faults"))
+            for _ in range(1)
+        ]
+        draws_b = [
+            model.next_interval(RandomStreams(7).stream("faults"))
+            for _ in range(1)
+        ]
+        assert draws_a == draws_b
+        assert all(value > 0 for value in draws_a)
+
+    def test_draw_kind_extremes(self):
+        rng = RandomStreams(1).stream("k")
+        never = ExponentialFaultModel(mtbf_s=10.0, permanent_p=0.0)
+        always = ExponentialFaultModel(mtbf_s=10.0, permanent_p=1.0)
+        assert all(
+            never.draw_kind(rng) == FaultKind.BREAKDOWN for _ in range(8)
+        )
+        assert all(
+            always.draw_kind(rng) == FaultKind.CRASH for _ in range(8)
+        )
+
+
+class TestScenarioConfigFaults:
+    def test_defaults_are_off(self):
+        config = paper_scenario(Algorithm.DYNAMIC, 4)
+        assert not config.faults_enabled
+        assert not config.resilience_enabled
+        assert config.fault_script is None
+
+    def test_mtbf_enables_faults_and_resilience(self):
+        config = paper_scenario(
+            Algorithm.DYNAMIC, 4, robot_mtbf_s=5_000.0
+        )
+        assert config.faults_enabled
+        assert config.resilience_enabled
+
+    def test_resilience_override(self):
+        config = paper_scenario(
+            Algorithm.DYNAMIC, 4, robot_mtbf_s=5_000.0, resilience=False
+        )
+        assert config.faults_enabled
+        assert not config.resilience_enabled
+        lone = paper_scenario(Algorithm.DYNAMIC, 4, resilience=True)
+        assert not lone.faults_enabled
+        assert lone.resilience_enabled
+
+    def test_script_normalized_from_dicts(self):
+        config = paper_scenario(
+            Algorithm.FIXED,
+            4,
+            fault_script=[
+                {"time": 9.0, "target": "robot-01", "kind": "breakdown"},
+                {"time": 1.0, "target": "robot-00", "kind": "crash"},
+            ],
+        )
+        assert config.faults_enabled
+        assert [e.time for e in config.fault_script] == [1.0, 9.0]
+
+    def test_empty_script_is_none(self):
+        config = paper_scenario(Algorithm.FIXED, 4, fault_script=())
+        assert config.fault_script is None
+        assert not config.faults_enabled
+
+    def test_config_json_round_trip_with_script(self):
+        config = paper_scenario(
+            Algorithm.CENTRALIZED,
+            4,
+            robot_mtbf_s=2_000.0,
+            fault_script=[
+                {"time": 5.0, "target": "manager-00",
+                 "kind": "manager_down", "duration": 60.0},
+            ],
+        )
+        rebuilt = type(config).from_json_dict(config.to_json_dict())
+        assert rebuilt == config
+
+    def test_digest_stable_and_sensitive(self):
+        base = paper_scenario(Algorithm.DYNAMIC, 4, seed=1)
+        scripted = paper_scenario(
+            Algorithm.DYNAMIC,
+            4,
+            seed=1,
+            fault_script=[
+                {"time": 5.0, "target": "robot-00", "kind": "breakdown"}
+            ],
+        )
+        scripted_again = paper_scenario(
+            Algorithm.DYNAMIC,
+            4,
+            seed=1,
+            fault_script=[
+                FaultEvent(
+                    time=5.0,
+                    target="robot-00",
+                    kind=FaultKind.BREAKDOWN,
+                )
+            ],
+        )
+        assert config_digest(scripted) == config_digest(scripted_again)
+        assert config_digest(base) != config_digest(scripted)
+
+    def test_effective_repair_deadline(self):
+        config = paper_scenario(Algorithm.DYNAMIC, 4)
+        assert math.isfinite(config.effective_repair_deadline_s)
+        assert config.effective_repair_deadline_s > 0
+        pinned = paper_scenario(
+            Algorithm.DYNAMIC, 4, repair_deadline_s=123.0
+        )
+        assert pinned.effective_repair_deadline_s == 123.0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, robot_mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, robot_downtime_s=-1.0)
+        with pytest.raises(ValueError):
+            paper_scenario(
+                Algorithm.DYNAMIC, 4, robot_fault_permanent_p=2.0
+            )
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, heartbeat_period_s=0.0)
+        with pytest.raises(ValueError):
+            paper_scenario(
+                Algorithm.DYNAMIC, 4, missed_heartbeats_for_failure=0
+            )
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, redispatch_limit=-1)
+        with pytest.raises(ValueError):
+            paper_scenario(
+                Algorithm.DYNAMIC, 4, redispatch_backoff_s=-5.0
+            )
+
+    def test_describe_mentions_faults_only_when_enabled(self):
+        plain = paper_scenario(Algorithm.DYNAMIC, 4)
+        assert "faults" not in plain.describe()
+        faulty = paper_scenario(
+            Algorithm.DYNAMIC, 4, robot_mtbf_s=1_000.0
+        )
+        assert "faults" in faulty.describe()

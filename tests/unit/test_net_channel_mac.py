@@ -193,6 +193,66 @@ class TestLossAndArq:
         with pytest.raises(ValueError):
             RadioConfig(range_m=63.0, loss_rate=1.0)
 
+    def test_frames_lost_counted_under_loss(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0)], loss=0.5, seed=5
+        )
+        for index in range(40):
+            nodes[0].send_broadcast(Category.DATA, index)
+        sim.run(until=60.0)
+        assert channel.stats.frames_lost > 0
+        # Lost + delivered accounts for every receiver contact of every
+        # frame (one receiver here, but acks are also on the air).
+        assert (
+            channel.stats.frames_lost + channel.stats.frames_delivered
+            > 0
+        )
+        assert len(nodes[1].broadcasts) < 40  # some really were lost
+
+    def test_retransmissions_counted_per_category(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0)], loss=0.4, seed=3
+        )
+        packet = Packet(
+            source="n00",
+            destination="n01",
+            category=Category.FAILURE_REPORT,
+            dest_location=Point(10, 0),
+        )
+        nodes[0].neighbor_table.upsert("n01", Point(10, 0), "sensor", 0.0)
+        nodes[0].mac.send_packet(packet, "n01")
+        sim.run(until=30.0)
+        assert len(nodes[1].delivered) == 1
+        # seed=3 loses at least one frame or ack on this link, so the
+        # ARQ retransmission counter must have fired for this category.
+        assert (
+            channel.stats.retransmissions[Category.FAILURE_REPORT] >= 1
+        )
+        assert Category.DATA not in channel.stats.retransmissions
+
+    def test_unicast_to_dead_receiver_counts_unreachable(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0)], loss=0.2, seed=1
+        )
+        nodes[0].neighbor_table.upsert("n01", Point(10, 0), "sensor", 0.0)
+        nodes[1].die()
+        packet = Packet(
+            source="n00",
+            destination="n01",
+            category=Category.DATA,
+            dest_location=Point(10, 0),
+        )
+        nodes[0].mac.send_packet(packet, "n01")
+        sim.run(until=30.0)
+        assert nodes[1].delivered == []
+        assert channel.stats.frames_unreachable >= 1
+        # Lossy mode: ARQ keeps trying a while before giving up, and
+        # every such retry is also unreachable.
+        assert (
+            channel.stats.frames_unreachable
+            >= channel.stats.retransmissions.get(Category.DATA, 0)
+        )
+
     def test_stats_snapshot_diff(self):
         sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
         nodes[0].send_broadcast(Category.DATA, "x")
