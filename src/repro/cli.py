@@ -46,8 +46,12 @@ from repro.experiments.figures import (
     figure4_update_transmissions,
 )
 from repro.experiments.render import render_table
-from repro.experiments.resilience import figure_resilience
+from repro.experiments.resilience import (
+    figure_resilience,
+    figure_resilience_permanence,
+)
 from repro.experiments.runner import run_many
+from repro.experiments.verification import figure_verification
 from repro.faults.script import load_fault_script
 from repro.sim.trace import RecordingSink, Tracer
 from repro.store import ENV_VAR as STORE_ENV_VAR
@@ -60,6 +64,7 @@ _FIGURES = {
     "3": figure3_hops,
     "4": figure4_update_transmissions,
     "resilience": figure_resilience,
+    "verification": figure_verification,
 }
 
 _ABLATIONS = {
@@ -112,8 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "number",
         choices=sorted(_FIGURES),
-        help="paper figure number, or 'resilience' for the robot-fault "
-        "extension figure",
+        help="paper figure number, or 'resilience' / 'verification' "
+        "for the robot-fault and network-fault extension figures",
     )
     figure.add_argument(
         "--robots",
@@ -178,10 +183,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     faults = commands.add_parser(
         "faults",
-        help="demo: run a scripted robot-fault campaign and print the "
+        help="demo: run a scripted fault campaign and print the "
         "fault/recovery timeline",
     )
     _add_scenario_arguments(faults)
+    faults.add_argument(
+        "--sweep-permanence",
+        action="store_true",
+        help="instead of one campaign, sweep the permanent-crash "
+        "probability (figure_resilience_permanence)",
+    )
+    faults.add_argument(
+        "--permanent-p",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.5, 1.0],
+        metavar="P",
+        help="permanent-crash probabilities for --sweep-permanence "
+        "(default: 0 0.5 1)",
+    )
 
     store = commands.add_parser(
         "store",
@@ -299,8 +319,44 @@ def _add_scenario_arguments(
         "--fault-script",
         metavar="FILE",
         default=None,
-        help="JSON file with a scripted fault campaign "
-        "(list of {time, target, kind[, duration]})",
+        help="JSON file with a scripted fault campaign (list of "
+        "{time, target, kind[, duration, x, y, radius, severity]})",
+    )
+    parser.add_argument(
+        "--jam-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="enable stochastic jamming: regions appear at R per "
+        "second at uniform field positions",
+    )
+    parser.add_argument(
+        "--jam-radius",
+        type=float,
+        default=None,
+        metavar="M",
+        help="radius of stochastic jam regions (default: 100 m)",
+    )
+    parser.add_argument(
+        "--jam-mtbf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="mean duration of a stochastic jam region (default: 600 s)",
+    )
+    parser.add_argument(
+        "--jam-loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-frame drop probability inside a jam region "
+        "(default: 1.0 = total blackout)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="enable the failure-verification protocol (suspicion "
+        "quorum, dispatcher probes, on-site checks)",
     )
 
 
@@ -367,6 +423,16 @@ def _config_from_args(args: argparse.Namespace, algorithm: str):
         overrides["robot_downtime_s"] = args.robot_downtime
     if getattr(args, "fault_script", None):
         overrides["fault_script"] = load_fault_script(args.fault_script)
+    if getattr(args, "jam_rate", None) is not None:
+        overrides["jam_rate"] = args.jam_rate
+    if getattr(args, "jam_radius", None) is not None:
+        overrides["jam_radius_m"] = args.jam_radius
+    if getattr(args, "jam_mtbf", None) is not None:
+        overrides["jam_duration_mtbf_s"] = args.jam_mtbf
+    if getattr(args, "jam_loss", None) is not None:
+        overrides["jam_loss_rate"] = args.jam_loss
+    if getattr(args, "verify", False):
+        overrides["verify_failures"] = True
     return paper_scenario(
         algorithm,
         args.robots,
@@ -490,6 +556,17 @@ def _command_figure(args: argparse.Namespace) -> int:
             sim_time_s=args.sim_time,
             robot_speed_mps=args.speed,
         )
+    elif args.number == "verification":
+        figure = generator(
+            robot_count=args.robots[0],
+            seeds=tuple(args.seeds),
+            sim_time_s=args.sim_time,
+            parallel=bool(args.jobs and args.jobs > 1),
+            store=store,
+            max_workers=args.jobs,
+            robot_speed_mps=args.speed,
+            loss_rate=args.loss,
+        )
     else:
         figure = generator(
             robot_counts=tuple(args.robots),
@@ -511,6 +588,7 @@ def _command_figure(args: argparse.Namespace) -> int:
             "3": "average number of hops per failure",
             "4": "transmissions for location update per failure",
             "resilience": "unrepaired failure fraction",
+            "verification": "false dispatches per run",
         }
         with open(args.svg, "w", encoding="utf-8") as handle:
             handle.write(
@@ -558,11 +636,31 @@ _FAULT_TIMELINE_CATEGORIES = (
     "redispatch",
     "escalation",
     "orphaned",
+    "net_fault",
+    "net_fault_cleared",
+    "suspicion",
+    "suspicion_cleared",
+    "probe",
+    "probe_answered",
+    "aborted_replacement",
+    "false_replacement",
 )
 
 
 def _command_faults(args: argparse.Namespace) -> int:
     """Run a fault campaign and print the fault/recovery timeline."""
+    if args.sweep_permanence:
+        figure = figure_resilience_permanence(
+            permanent_p_values=tuple(args.permanent_p),
+            robot_mtbf_s=args.robot_mtbf or 6_000.0,
+            robot_count=args.robots,
+            seeds=(args.seed, args.seed + 1),
+            sim_time_s=args.sim_time,
+            robot_speed_mps=args.speed,
+            loss_rate=args.loss,
+        )
+        print(figure.render())
+        return 0 if figure.all_claims_hold else 1
     config = _config_from_args(args, args.algorithm)
     if not config.faults_enabled:
         # No faults requested: demo a default scripted campaign that

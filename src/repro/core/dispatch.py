@@ -23,7 +23,9 @@ import typing
 
 from repro.core.messages import (
     CompletionNotice,
+    Confidence,
     FailureNotice,
+    ProbeReply,
     ReplacementRequest,
 )
 from repro.deploy.scenario import DispatchPolicy
@@ -32,6 +34,7 @@ from repro.net.frames import Category, NodeId
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import ScenarioRuntime
+    from repro.faults.verify import ProbeCoordinator
     from repro.net.node import NetworkNode
 
 __all__ = ["DispatchDesk"]
@@ -64,6 +67,8 @@ class DispatchDesk:
         self._pending: typing.Dict[NodeId, _Pending] = {}
         #: failed_id -> total dispatches issued (the retry budget).
         self._dispatch_count: typing.Dict[NodeId, int] = {}
+        #: Probe round-trips for suspected failures (verification mode).
+        self._probe_coordinator: typing.Optional["ProbeCoordinator"] = None
 
     # ------------------------------------------------------------------
     # Registry
@@ -141,8 +146,19 @@ class DispatchDesk:
     ) -> None:
         """Process a failure report exactly as the paper's manager does;
         under resilience, duplicate reports for uncustodied failures
-        trigger a re-dispatch instead of being dropped."""
+        trigger a re-dispatch instead of being dropped.  Under
+        verification, an unquorate (SUSPECTED) report is probed first."""
         runtime = self.runtime
+        if (
+            runtime.config.verify_failures
+            and notice.confidence == Confidence.SUSPECTED
+            and not runtime.already_repaired(notice.failed_id)
+            and notice.failed_id not in self._pending
+        ):
+            self._prober().handle_suspected(
+                notice, lambda n: self._confirm_suspected(n, hops)
+            )
+            return
         if notice.failed_id in self._handled:
             if not runtime.config.resilience_enabled:
                 return
@@ -158,11 +174,43 @@ class DispatchDesk:
         )
         self._dispatch(notice)
 
+    def _confirm_suspected(self, notice: FailureNotice, hops: int) -> None:
+        """A probe deadline expired unanswered: believe the report."""
+        runtime = self.runtime
+        if runtime.already_repaired(notice.failed_id):
+            return
+        if notice.failed_id in self._pending:
+            return  # A parallel report confirmed first.
+        if notice.failed_id not in self._handled:
+            self._handled.add(notice.failed_id)
+            runtime.metrics.record_report(
+                notice.failed_id, self.host.node_id, self.host.sim.now, hops
+            )
+        self._dispatch(notice)
+
+    def _prober(self) -> "ProbeCoordinator":
+        """This desk's probe coordinator, created on first use."""
+        if self._probe_coordinator is None:
+            from repro.faults.verify import ProbeCoordinator
+
+            self._probe_coordinator = ProbeCoordinator(self.host)
+        return self._probe_coordinator
+
+    def handle_probe_reply(self, reply: ProbeReply) -> None:
+        """Route a suspect's are-you-alive answer to the coordinator."""
+        if self._probe_coordinator is not None:
+            self._probe_coordinator.on_probe_reply(reply)
+
     def handle_completion(self, notice: CompletionNotice) -> None:
-        """A robot reported a finished repair."""
+        """A robot reported a finished repair (or an on-site abort)."""
         current = self.outstanding.get(notice.robot_id, 0)
         self.outstanding[notice.robot_id] = max(0, current - 1)
         self._pending.pop(notice.failed_id, None)
+        if notice.verified_alive:
+            # The sensor was alive: forget the case entirely so a later,
+            # genuine failure of the same node dispatches afresh.
+            self._handled.discard(notice.failed_id)
+            self._dispatch_count.pop(notice.failed_id, None)
 
     def has_pending(self, failed_id: NodeId) -> bool:
         """Is a dispatch for *failed_id* currently being watched?"""

@@ -18,6 +18,7 @@ from repro.core.messages import (
     FailureNotice,
     Heartbeat,
     HeartbeatAck,
+    ProbeReply,
 )
 from repro.geometry.point import Point
 from repro.net.frames import Category, NodeAnnouncement, NodeId, Packet
@@ -85,6 +86,8 @@ class CentralManagerNode(NetworkNode):
             self.desk.handle_failure_report(payload, packet.hops)
         elif isinstance(payload, CompletionNotice):
             self.desk.handle_completion(payload)
+        elif isinstance(payload, ProbeReply):
+            self.desk.handle_probe_reply(payload)
         elif isinstance(payload, NodeAnnouncement):
             # A robot's routed location update (or initial registration).
             if payload.kind == "robot":

@@ -24,13 +24,36 @@ from repro.net.frames import NodeId
 
 __all__ = [
     "CompletionNotice",
+    "Confidence",
     "FailureNotice",
     "Heartbeat",
     "HeartbeatAck",
+    "ProbeReply",
+    "ProbeRequest",
     "ReplacementRequest",
     "FloodMessage",
     "GuardianConfirm",
+    "SuspicionQuery",
+    "SuspicionVote",
 ]
+
+
+class Confidence:
+    """How sure a :class:`FailureNotice` is that its subject is dead.
+
+    The verification extension's escalation ladder: a guardian timeout
+    alone yields ``SUSPECTED``; agreement from
+    ``verification_quorum`` guardians upgrades it to ``CORROBORATED``;
+    the maintainer's on-site probe is the final ``CONFIRMED`` word.
+    With verification off every notice is ``CONFIRMED`` (the paper's
+    trust-the-guardian behaviour).
+    """
+
+    SUSPECTED = "suspected"
+    CORROBORATED = "corroborated"
+    CONFIRMED = "confirmed"
+
+    ALL = (SUSPECTED, CORROBORATED, CONFIRMED)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -41,6 +64,9 @@ class FailureNotice:
     failed_position: Point
     guardian_id: NodeId
     detect_time: float
+    #: Verification extension; the default keeps pre-verification call
+    #: sites (and the paper's baseline protocol) unchanged.
+    confidence: str = Confidence.CONFIRMED
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -90,6 +116,9 @@ class CompletionNotice:
     robot_id: NodeId
     failed_id: NodeId
     completion_time: float
+    #: Verification extension: True when the maintainer found the
+    #: "failed" sensor alive on site and aborted the replacement.
+    verified_alive: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -128,3 +157,57 @@ class GuardianConfirm:
     guardee_position: Point
     #: True when replacing a previous guardian that failed.
     reselection: bool = False
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SuspicionQuery:
+    """A guardian's broadcast asking neighbours to corroborate a
+    suspected failure (verification extension).
+
+    The suspect itself may answer with an immediate beacon — the
+    cheapest possible refutation.
+    """
+
+    suspect_id: NodeId
+    suspect_position: Point
+    guardian_id: NodeId
+    guardian_position: Point
+    sent_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SuspicionVote:
+    """A neighbour's answer to a :class:`SuspicionQuery`.
+
+    ``corroborate`` is True when the voter has also lost contact with
+    the suspect; ``last_heard`` is the voter's freshest beacon time from
+    it (used by the guardian to clear stale suspicion state).
+    """
+
+    suspect_id: NodeId
+    voter_id: NodeId
+    corroborate: bool
+    last_heard: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProbeRequest:
+    """A dispatcher's direct are-you-alive probe, routed to the
+    suspected sensor's position (verification extension)."""
+
+    target_id: NodeId
+    target_position: Point
+    prober_id: NodeId
+    prober_position: Point
+    sent_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProbeReply:
+    """The suspected sensor's answer to a :class:`ProbeRequest` —
+    definitive proof of life, routed back to the prober."""
+
+    target_id: NodeId
+    target_position: Point
+    prober_id: NodeId
+    sent_time: float

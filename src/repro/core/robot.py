@@ -28,10 +28,12 @@ import typing
 
 from repro.core.messages import (
     CompletionNotice,
+    Confidence,
     FailureNotice,
     FloodMessage,
     Heartbeat,
     HeartbeatAck,
+    ProbeReply,
     ReplacementRequest,
 )
 from repro.deploy.scenario import DispatchPolicy
@@ -42,6 +44,7 @@ from repro.net.node import NetworkNode
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.dispatch import DispatchDesk
     from repro.core.runtime import ScenarioRuntime
+    from repro.faults.verify import ProbeCoordinator
 
 __all__ = ["RepairTask", "RobotNode"]
 
@@ -98,6 +101,9 @@ class RobotNode(NetworkNode):
         #: Acting central manager after failover (resilience extension).
         self.acting_manager = False
         self.desk: typing.Optional["DispatchDesk"] = None
+        #: Probe round-trips for suspected failures (verification mode;
+        #: distributed algorithms where this robot is its own manager).
+        self._probe_coordinator: typing.Optional["ProbeCoordinator"] = None
         #: Highest manager-announcement seq seen, per origin (dedup for
         #: relayed failover/restart floods).
         self._mgr_flood_seen: typing.Dict[NodeId, int] = {}
@@ -134,6 +140,11 @@ class RobotNode(NetworkNode):
         elif isinstance(payload, CompletionNotice):
             if self.acting_manager and self.desk is not None:
                 self.desk.handle_completion(payload)
+        elif isinstance(payload, ProbeReply):
+            if self._probe_coordinator is not None:
+                self._probe_coordinator.on_probe_reply(payload)
+            if self.acting_manager and self.desk is not None:
+                self.desk.handle_probe_reply(payload)
         elif isinstance(payload, Heartbeat):
             self._handle_heartbeat(payload)
         elif isinstance(payload, HeartbeatAck):
@@ -150,7 +161,25 @@ class RobotNode(NetworkNode):
             if self.acting_manager and self.desk is not None:
                 self.desk.handle_failure_report(notice, packet.hops)
             return
-        # Distributed algorithms: this robot is the manager.
+        # Distributed algorithms: this robot is the manager.  A report
+        # that never made quorum is probed before being believed.
+        if (
+            self.runtime.config.verify_failures
+            and notice.confidence == Confidence.SUSPECTED
+        ):
+            if self.runtime.already_repaired(
+                notice.failed_id
+            ) or self.has_task(notice.failed_id):
+                return
+            hops = packet.hops
+            self._prober().handle_suspected(
+                notice, lambda n: self._intake_notice(n, hops)
+            )
+            return
+        self._intake_notice(notice, packet.hops)
+
+    def _intake_notice(self, notice: FailureNotice, hops: int) -> None:
+        """Accept a believed failure report (paper-baseline intake)."""
         repeat = notice.failed_id in self._handled
         if not self._accept_failure(notice.failed_id):
             return
@@ -162,7 +191,7 @@ class RobotNode(NetworkNode):
             record = metrics.record_of(notice.failed_id)
             repeat = record is not None and record.dispatch_time is not None
         metrics.record_report(
-            notice.failed_id, self.node_id, self.sim.now, packet.hops
+            notice.failed_id, self.node_id, self.sim.now, hops
         )
         if repeat:
             metrics.record_redispatch(notice.failed_id)
@@ -174,6 +203,14 @@ class RobotNode(NetworkNode):
                 notice=notice,
             )
         )
+
+    def _prober(self) -> "ProbeCoordinator":
+        """This robot's probe coordinator, created on first use."""
+        if self._probe_coordinator is None:
+            from repro.faults.verify import ProbeCoordinator
+
+            self._probe_coordinator = ProbeCoordinator(self)
+        return self._probe_coordinator
 
     def _accept_failure(self, failed_id: NodeId) -> bool:
         """Duplicate suppression for incoming work.
@@ -430,6 +467,8 @@ class RobotNode(NetworkNode):
                     continue
             if self._skip_repaired(task):
                 continue
+            if self._verify_on_site(task, leg_distance):
+                continue
             self.runtime.complete_replacement(self, task, leg_distance)
             self._current_task = None
             self._report_completion(task)
@@ -453,6 +492,28 @@ class RobotNode(NetworkNode):
             return False
         if self._current_task is task:
             self._current_task = None
+        return True
+
+    def _verify_on_site(self, task: RepairTask, leg_distance: float) -> bool:
+        """Confirmed-on-site check: is the 'failed' sensor actually dead?
+
+        Standing at the failure site, the robot probes the sensor at
+        point-blank range before swapping it out (a short administrative
+        exchange — jamming cannot defeat it because the robot can read
+        the node's status LED, so no channel traffic is modelled).  A
+        live sensor aborts the replacement; the trip is charged to the
+        ``false_dispatch`` metric family.  Returns True when aborted.
+        """
+        if not self.runtime.config.verify_failures:
+            return False
+        if not self.runtime.sensor_is_alive(task.failed_id):
+            return False
+        self._current_task = None
+        self.runtime.abort_replacement(self, task, leg_distance)
+        # Forget the case so a later, genuine failure of the same node
+        # is accepted afresh (the abort was not a repair).
+        self._handled.discard(task.failed_id)
+        self._report_completion(task, verified_alive=True)
         return True
 
     def _drive_to(
@@ -493,8 +554,10 @@ class RobotNode(NetworkNode):
             self.publish_location()
         return travelled
 
-    def _report_completion(self, task: RepairTask) -> None:
-        """Tell the manager this job finished.
+    def _report_completion(
+        self, task: RepairTask, verified_alive: bool = False
+    ) -> None:
+        """Tell the manager this job finished (or was aborted on-site).
 
         The paper's baseline dispatch ("closest") needs no feedback, so
         no message is sent there — keeping baseline transmission counts
@@ -509,6 +572,7 @@ class RobotNode(NetworkNode):
                     robot_id=self.node_id,
                     failed_id=task.failed_id,
                     completion_time=self.sim.now,
+                    verified_alive=verified_alive,
                 )
             )
             return
@@ -529,6 +593,7 @@ class RobotNode(NetworkNode):
                 robot_id=self.node_id,
                 failed_id=task.failed_id,
                 completion_time=self.sim.now,
+                verified_alive=verified_alive,
             ),
         )
 

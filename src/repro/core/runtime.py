@@ -40,6 +40,7 @@ from repro.deploy.scenario import (
     ScenarioConfig,
 )
 from repro.faults.injector import FaultInjector
+from repro.faults.network import NetworkFaultService
 from repro.faults.recovery import ResilienceService
 from repro.faults.script import FaultKind
 from repro.geometry.point import Point
@@ -123,6 +124,14 @@ class ScenarioRuntime:
         )
         self.faults: typing.Optional[FaultInjector] = (
             FaultInjector(self) if config.faults_enabled else None
+        )
+        #: Spatial network faults (jamming/partition regions); when
+        #: None the channel's fault hook stays unset and the transmit
+        #: path is bit-identical to the pre-fault-model channel.
+        self.network_faults: typing.Optional[NetworkFaultService] = (
+            NetworkFaultService(self)
+            if config.network_faults_enabled
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -277,6 +286,8 @@ class ScenarioRuntime:
             self.resilience.start()
         if self.faults is not None:
             self.faults.start()
+        if self.network_faults is not None:
+            self.network_faults.start()
 
     def _start_beaconing(self, sensor: SensorNode) -> None:
         service = BeaconService(
@@ -381,6 +392,9 @@ class ScenarioRuntime:
         send beacons containing their own locations.  This enables the
         new node to set up its own neighbor table."
         """
+        # Ground truth captured *before* the replacement mutates the
+        # field: replacing a still-alive sensor is a false dispatch.
+        was_alive = self.sensor_is_alive(task.failed_id)
         self._replacement_counter += 1
         new_id = f"sensor-r{self._replacement_counter:05d}"
         sensor = self._create_sensor(new_id, task.position)
@@ -421,6 +435,85 @@ class ScenarioRuntime:
                 new_node=new_id,
                 leg_distance=leg_distance,
             )
+        if was_alive and (
+            self.config.verify_failures
+            or self.config.network_faults_enabled
+        ):
+            # A healthy sensor was just "replaced" — the false-positive
+            # outcome the verification protocol exists to prevent.  Only
+            # charged when this PR's machinery is configured, keeping
+            # pre-existing pure-loss baselines bit-identical.
+            self.metrics.record_false_dispatch(
+                task.failed_id,
+                robot.node_id,
+                self.sim.now,
+                wasted_m=leg_distance,
+                aborted=False,
+            )
+            if self.tracer.active:
+                self.tracer.emit(
+                    "false_replacement",
+                    time=self.sim.now,
+                    failed=task.failed_id,
+                    robot=robot.node_id,
+                )
+
+    def abort_replacement(
+        self, robot: RobotNode, task: RepairTask, leg_distance: float
+    ) -> None:
+        """The maintainer's on-site check found the sensor alive: no
+        replacement happens, and the wasted trip is charged to the
+        false-dispatch metric family (verification mode only)."""
+        now = self.sim.now
+        self.metrics.record_false_dispatch(
+            task.failed_id,
+            robot.node_id,
+            now,
+            wasted_m=leg_distance,
+            aborted=True,
+        )
+        if self.tracer.active:
+            self.tracer.emit(
+                "aborted_replacement",
+                time=now,
+                failed=task.failed_id,
+                robot=robot.node_id,
+                leg_distance=leg_distance,
+            )
+        # The robot parked next to the survivor announces the good news;
+        # administratively mirror the short-range exchange every sensor
+        # in earshot of the site would overhear.
+        survivor = self.sensors.get(task.failed_id)
+        if survivor is None:
+            return
+        for node in self.channel.nodes_within(
+            survivor.position, sensor_radio().range_m
+        ):
+            if isinstance(node, SensorNode):
+                node.note_alive(survivor.node_id, survivor.position)
+
+    def sensor_is_alive(self, node_id: NodeId) -> bool:
+        """Ground truth: is the sensor with *node_id* currently alive?"""
+        sensor = self.sensors.get(node_id)
+        return sensor is not None and sensor.alive
+
+    def request_immediate_beacon(self, sensor: SensorNode) -> None:
+        """Have *sensor* broadcast an off-cycle beacon right now (its
+        self-defence against a suspicion query)."""
+        if not sensor.alive:
+            return
+        service = self._beacon_services.get(sensor.node_id)
+        if service is not None:
+            service.beacon_now()
+            return
+        sensor.send_broadcast(
+            Category.BEACON,
+            NodeAnnouncement(
+                node_id=sensor.node_id,
+                position=sensor.position,
+                kind=sensor.kind,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Robot faults & recovery (extension; inert unless configured)

@@ -14,9 +14,19 @@ Sensors are static.  Each sensor:
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
-from repro.core.messages import FailureNotice, FloodMessage, GuardianConfirm
+from repro.core.messages import (
+    Confidence,
+    FailureNotice,
+    FloodMessage,
+    GuardianConfirm,
+    ProbeReply,
+    ProbeRequest,
+    SuspicionQuery,
+    SuspicionVote,
+)
 from repro.geometry.point import Point
 from repro.net.frames import Category, NodeAnnouncement, NodeId, Packet
 from repro.net.node import NetworkNode
@@ -25,6 +35,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import ScenarioRuntime
 
 __all__ = ["SensorNode"]
+
+
+@dataclasses.dataclass(slots=True)
+class _Suspicion:
+    """A guardian's open case against a silent guardee (verification
+    mode): where the suspect was, when the case opened, and the
+    corroborate/deny votes collected so far."""
+
+    position: Point
+    start_time: float
+    #: voter id -> (corroborate?, voter's freshest beacon time).
+    votes: typing.Dict[NodeId, typing.Tuple[bool, float]] = (
+        dataclasses.field(default_factory=dict)
+    )
 
 
 class SensorNode(NetworkNode):
@@ -65,10 +89,12 @@ class SensorNode(NetworkNode):
         #: Failures this sensor has already reported (suppress repeats).
         self._reported: typing.Set[NodeId] = set()
         #: Reports awaiting repair evidence (resilience mode only):
-        #: failed_id -> (position, attempt, detect_time).
+        #: failed_id -> (position, attempt, detect_time, confidence).
         self._pending_reports: typing.Dict[
-            NodeId, typing.Tuple[Point, int, float]
+            NodeId, typing.Tuple[Point, int, float, str]
         ] = {}
+        #: Open suspicion cases (verification mode only).
+        self._suspicions: typing.Dict[NodeId, _Suspicion] = {}
 
     # ------------------------------------------------------------------
     # Receive hooks
@@ -81,13 +107,42 @@ class SensorNode(NetworkNode):
             self._last_beacon[payload.node_id] = self.sim.now
             if payload.node_id in self.guardees:
                 self.guardee_positions[payload.node_id] = payload.position
+            elif (
+                self.runtime.config.verify_failures
+                and payload.node_id in self._reported
+            ):
+                # A sensor this guardian declared dead is beaconing
+                # again (e.g. its jamming region cleared): rehabilitate.
+                self.note_alive(payload.node_id, payload.position)
         elif isinstance(payload, FloodMessage):
             self._handle_flood(packet, payload)
+        elif isinstance(payload, SuspicionQuery):
+            self._handle_suspicion_query(payload)
 
     def on_packet_delivered(self, packet: Packet) -> None:
         payload = packet.payload
         if isinstance(payload, GuardianConfirm):
             self.accept_guardee(payload.guardee_id, payload.guardee_position)
+        elif isinstance(payload, SuspicionVote):
+            suspicion = self._suspicions.get(payload.suspect_id)
+            if suspicion is not None:
+                suspicion.votes[payload.voter_id] = (
+                    payload.corroborate,
+                    payload.last_heard,
+                )
+        elif isinstance(payload, ProbeRequest):
+            # Proof of life: answer the prober directly.
+            self.send_routed(
+                payload.prober_id,
+                payload.prober_position,
+                Category.VERIFICATION,
+                ProbeReply(
+                    target_id=self.node_id,
+                    target_position=self.position,
+                    prober_id=payload.prober_id,
+                    sent_time=self.sim.now,
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Guardian / guardee protocol
@@ -158,8 +213,22 @@ class SensorNode(NetworkNode):
         """Declare *failed_id* dead and report it to the manager.
 
         Called by the beacon watcher (full-beacon mode) or scheduled by
-        the runtime (event mode).
+        the runtime (event mode).  With verification enabled, silence
+        only opens a *suspicion* case; the declaration waits for the
+        corroboration round to resolve.
         """
+        if not self.alive or failed_id in self._reported:
+            return
+        if self.runtime.config.verify_failures:
+            self._begin_suspicion(failed_id, failed_position)
+            return
+        self._declare_failure(
+            failed_id, failed_position, Confidence.CONFIRMED
+        )
+
+    def _declare_failure(
+        self, failed_id: NodeId, failed_position: Point, confidence: str
+    ) -> None:
         if not self.alive or failed_id in self._reported:
             return
         self._reported.add(failed_id)
@@ -168,7 +237,9 @@ class SensorNode(NetworkNode):
         self.runtime.metrics.record_detection(
             failed_id, self.node_id, self.sim.now
         )
-        self._send_report(failed_id, failed_position, self.sim.now)
+        self._send_report(
+            failed_id, failed_position, self.sim.now, confidence=confidence
+        )
 
     def _send_report(
         self,
@@ -176,12 +247,14 @@ class SensorNode(NetworkNode):
         failed_position: Point,
         detect_time: float,
         attempt: int = 0,
+        confidence: str = Confidence.CONFIRMED,
     ) -> None:
         notice = FailureNotice(
             failed_id=failed_id,
             failed_position=failed_position,
             guardian_id=self.node_id,
             detect_time=detect_time,
+            confidence=confidence,
         )
         target = self.runtime.coordination.report_target(self)
         if target is not None:
@@ -200,7 +273,7 @@ class SensorNode(NetworkNode):
         # may well resolve by the retry (e.g. a takeover flood arrives).
         if self.runtime.config.resilience_enabled:
             self._pending_reports[failed_id] = (
-                failed_position, attempt, detect_time
+                failed_position, attempt, detect_time, confidence
             )
             self._watch_report(failed_id, attempt)
 
@@ -227,9 +300,13 @@ class SensorNode(NetworkNode):
             # over (and ultimately declares the failure orphaned).
             self._pending_reports.pop(failed_id, None)
             return
-        position, _attempt, detect_time = pending
+        position, _attempt, detect_time, confidence = pending
         self._send_report(
-            failed_id, position, detect_time, attempt=attempt + 1
+            failed_id,
+            position,
+            detect_time,
+            attempt=attempt + 1,
+            confidence=confidence,
         )
 
     def file_report(
@@ -252,6 +329,135 @@ class SensorNode(NetworkNode):
     def has_pending_report(self, failed_id: NodeId) -> bool:
         """Is this sensor still watching a report for *failed_id*?"""
         return failed_id in self._pending_reports
+
+    # ------------------------------------------------------------------
+    # Failure verification (suspicion / corroboration)
+    # ------------------------------------------------------------------
+    def _begin_suspicion(
+        self, failed_id: NodeId, failed_position: Point
+    ) -> None:
+        """Open a suspicion case: ask the neighbourhood (including the
+        suspect itself) whether *failed_id* is really gone."""
+        if failed_id in self._suspicions:
+            return
+        now = self.sim.now
+        self._suspicions[failed_id] = _Suspicion(
+            position=failed_position, start_time=now
+        )
+        self.runtime.metrics.record_suspicion(
+            failed_id, self.node_id, now
+        )
+        if self.tracer.active:
+            self.tracer.emit(
+                "suspicion",
+                time=now,
+                suspect=failed_id,
+                guardian=self.node_id,
+            )
+        self.send_broadcast(
+            Category.VERIFICATION,
+            SuspicionQuery(
+                suspect_id=failed_id,
+                suspect_position=failed_position,
+                guardian_id=self.node_id,
+                guardian_position=self.position,
+                sent_time=now,
+            ),
+        )
+        self.sim.call_in(
+            self.runtime.config.verification_timeout_s,
+            lambda: self._resolve_suspicion(failed_id),
+        )
+
+    def _handle_suspicion_query(self, query: SuspicionQuery) -> None:
+        if query.suspect_id == self.node_id:
+            # This node is the suspect — the cheapest refutation is an
+            # immediate off-cycle beacon, which clears every watcher.
+            self.runtime.request_immediate_beacon(self)
+            return
+        if query.guardian_id == self.node_id:
+            return
+        last = self._last_beacon.get(query.suspect_id)
+        if last is None:
+            return  # Never heard of the suspect: abstain.
+        config = self.runtime.config
+        timeout_s = (
+            config.missed_beacons_for_failure * config.beacon_period_s
+        )
+        self.send_routed(
+            query.guardian_id,
+            query.guardian_position,
+            Category.VERIFICATION,
+            SuspicionVote(
+                suspect_id=query.suspect_id,
+                voter_id=self.node_id,
+                corroborate=(self.sim.now - last) > timeout_s,
+                last_heard=last,
+            ),
+        )
+
+    def _resolve_suspicion(self, failed_id: NodeId) -> None:
+        suspicion = self._suspicions.pop(failed_id, None)
+        if suspicion is None or not self.alive:
+            return
+        now = self.sim.now
+        latency = now - suspicion.start_time
+        # Any sign of life — a first-hand beacon since the case opened
+        # (the suspect's self-defence) or a deny vote from a neighbour
+        # that still hears it — clears the suspicion.
+        last = self._last_beacon.get(failed_id, 0.0)
+        deny_times = [
+            heard
+            for corroborate, heard in suspicion.votes.values()
+            if not corroborate
+        ]
+        if last >= suspicion.start_time or deny_times:
+            self.runtime.metrics.record_suspicion_resolved(
+                failed_id, now, latency, "cleared"
+            )
+            if self.tracer.active:
+                self.tracer.emit(
+                    "suspicion_cleared",
+                    time=now,
+                    suspect=failed_id,
+                    guardian=self.node_id,
+                )
+            # Credit the suspect with its freshest known sign of life so
+            # the watch loop restarts its silence clock from there.
+            self._last_beacon[failed_id] = max([last] + deny_times)
+            return
+        corroborations = 1 + sum(
+            1
+            for corroborate, _heard in suspicion.votes.values()
+            if corroborate
+        )
+        confidence = (
+            Confidence.CORROBORATED
+            if corroborations >= self.runtime.config.verification_quorum
+            else Confidence.SUSPECTED
+        )
+        self.runtime.metrics.record_suspicion_resolved(
+            failed_id, now, latency, confidence
+        )
+        self._declare_failure(failed_id, suspicion.position, confidence)
+
+    def note_alive(self, node_id: NodeId, position: Point) -> None:
+        """Undo any declaration about *node_id*: it is provably alive.
+
+        Triggered by a first-hand beacon from a rehabilitated sensor or
+        by the runtime after a maintainer's on-site verification.
+        """
+        if not self.runtime.config.verify_failures:
+            return
+        self._reported.discard(node_id)
+        self._pending_reports.pop(node_id, None)
+        self._suspicions.pop(node_id, None)
+        self._last_beacon[node_id] = self.sim.now
+        self.neighbor_table.upsert(
+            node_id, position, "sensor", self.sim.now
+        )
+        if self.runtime.guardian_of.get(node_id) == self.node_id:
+            self.accept_guardee(node_id, position)
 
     def start_beacon_watch(self) -> None:
         """Run the per-period guardian/guardee liveness checks.

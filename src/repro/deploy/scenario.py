@@ -13,7 +13,11 @@ import dataclasses
 import math
 import typing
 
-from repro.faults.script import FaultEvent, normalize_fault_script
+from repro.faults.script import (
+    FaultEvent,
+    FaultKind,
+    normalize_fault_script,
+)
 from repro.geometry.polygon import Rect
 
 __all__ = [
@@ -200,6 +204,31 @@ class ScenarioConfig:
     #: Re-dispatch budget per failure before it is recorded as orphaned.
     redispatch_limit: int = 3
 
+    # --- network faults & failure verification (extension; defaults
+    # keep the channel and the guardian protocol bit-identical) --------
+    #: Poisson arrival rate (events/s) of stochastic jamming regions.
+    #: None (default) disables the stochastic jammer; scripted network
+    #: fault events work regardless.
+    jam_rate: typing.Optional[float] = None
+    #: Radius of a stochastic jamming disk.
+    jam_radius_m: float = 100.0
+    #: Mean lifetime (Exp-distributed) of a stochastic jamming region.
+    jam_duration_mtbf_s: float = 600.0
+    #: Per-frame drop probability inside a stochastic jamming disk.
+    jam_loss_rate: float = 1.0
+    #: Enable the failure-verification protocol: guardians escalate
+    #: *suspected* failures, require corroboration (or a dispatcher
+    #: probe) before dispatch, and robots verify on site before
+    #: replacing.  Off (default) keeps the paper's trust-the-guardian
+    #: behaviour bit-identical.
+    verify_failures: bool = False
+    #: Guardian corroborations (including the reporter) required to
+    #: upgrade a suspected failure to corroborated.
+    verification_quorum: int = 2
+    #: How long a guardian collects corroboration votes (and half the
+    #: dispatcher's probe deadline).
+    verification_timeout_s: float = 30.0
+
     def __post_init__(self) -> None:
         if self.algorithm not in Algorithm.ALL:
             raise ValueError(f"unknown algorithm: {self.algorithm!r}")
@@ -280,6 +309,33 @@ class ScenarioConfig:
             raise ValueError(
                 f"re-dispatch limit must be >= 0: {self.redispatch_limit}"
             )
+        if self.jam_rate is not None and self.jam_rate <= 0:
+            raise ValueError(
+                f"jam rate must be positive: {self.jam_rate}"
+            )
+        if self.jam_radius_m <= 0:
+            raise ValueError(
+                f"jam radius must be positive: {self.jam_radius_m}"
+            )
+        if self.jam_duration_mtbf_s <= 0:
+            raise ValueError(
+                "jam duration MTBF must be positive: "
+                f"{self.jam_duration_mtbf_s}"
+            )
+        if not 0.0 < self.jam_loss_rate <= 1.0:
+            raise ValueError(
+                f"jam loss rate must be in (0, 1]: {self.jam_loss_rate}"
+            )
+        if self.verification_quorum < 1:
+            raise ValueError(
+                "verification quorum must be >= 1: "
+                f"{self.verification_quorum}"
+            )
+        if self.verification_timeout_s <= 0:
+            raise ValueError(
+                "verification timeout must be positive: "
+                f"{self.verification_timeout_s}"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -317,7 +373,21 @@ class ScenarioConfig:
     @property
     def faults_enabled(self) -> bool:
         """True when any fault source (stochastic or scripted) is set."""
-        return self.robot_mtbf_s is not None or bool(self.fault_script)
+        return (
+            self.robot_mtbf_s is not None
+            or self.jam_rate is not None
+            or bool(self.fault_script)
+        )
+
+    @property
+    def network_faults_enabled(self) -> bool:
+        """True when the spatial network fault model must be armed."""
+        if self.jam_rate is not None:
+            return True
+        return any(
+            event.kind in FaultKind.NETWORK
+            for event in self.fault_script or ()
+        )
 
     @property
     def resilience_enabled(self) -> bool:
@@ -414,9 +484,16 @@ class ScenarioConfig:
             parts = []
             if self.robot_mtbf_s is not None:
                 parts.append(f"MTBF={self.robot_mtbf_s:.0f}s")
+            if self.jam_rate is not None:
+                parts.append(f"jam_rate={self.jam_rate:g}/s")
             if self.fault_script:
                 parts.append(f"script={len(self.fault_script)} events")
             text += " | faults: " + ", ".join(parts)
+        if self.verify_failures:
+            text += (
+                f" | verify: quorum={self.verification_quorum}, "
+                f"timeout={self.verification_timeout_s:.0f}s"
+            )
         return text
 
 

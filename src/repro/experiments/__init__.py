@@ -15,7 +15,14 @@ from repro.experiments.figures import (
     figure4_update_transmissions,
 )
 from repro.experiments.render import render_series_table, render_table
-from repro.experiments.resilience import figure_resilience
+from repro.experiments.resilience import (
+    figure_resilience,
+    figure_resilience_permanence,
+)
+from repro.experiments.verification import (
+    default_network_campaign,
+    figure_verification,
+)
 from repro.experiments.runner import (
     CacheStats,
     SweepPoint,
@@ -40,7 +47,10 @@ __all__ = [
     "figure2_motion_overhead",
     "figure3_hops",
     "figure4_update_transmissions",
+    "default_network_campaign",
     "figure_resilience",
+    "figure_resilience_permanence",
+    "figure_verification",
     "render_series_table",
     "render_table",
     "run_config",

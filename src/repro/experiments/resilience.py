@@ -23,7 +23,7 @@ from repro.experiments.runner import SweepPoint, SweepResult, run_many
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard only
     from repro.store.store import RunStore
 
-__all__ = ["figure_resilience"]
+__all__ = ["figure_resilience", "figure_resilience_permanence"]
 
 _ALGORITHMS = (Algorithm.FIXED, Algorithm.DYNAMIC, Algorithm.CENTRALIZED)
 
@@ -159,4 +159,116 @@ def figure_resilience(
         claims=claims,
         sweep_result=result,
         x_label="robot MTBF (s)",
+    )
+
+
+def figure_resilience_permanence(
+    permanent_p_values: typing.Sequence[float] = (0.0, 0.5, 1.0),
+    robot_mtbf_s: float = 6_000.0,
+    robot_count: int = 4,
+    seeds: typing.Sequence[int] = (1, 2),
+    parallel: bool = True,
+    store: typing.Optional["RunStore"] = None,
+    max_workers: typing.Optional[int] = None,
+    **overrides: typing.Any,
+) -> FigureResult:
+    """Unrepaired-failure fraction vs breakdown permanence, per algorithm.
+
+    Holds the robot MTBF fixed and sweeps
+    ``robot_fault_permanent_p`` — the probability that a stochastic
+    breakdown is a permanent crash rather than a recoverable outage.
+    At 0.0 every broken robot returns after its downtime; at 1.0 the
+    fleet only shrinks.
+
+    Claims checked (extension): faults occur at every grid point, and
+    for each algorithm an all-permanent fleet leaves no smaller
+    unrepaired fraction than an all-recoverable one (small tolerance
+    for seed noise).
+    """
+    configs = []
+    cells = []
+    for algorithm in _ALGORITHMS:
+        for permanent_p in permanent_p_values:
+            for seed in seeds:
+                configs.append(
+                    paper_scenario(
+                        algorithm,
+                        robot_count,
+                        seed=seed,
+                        robot_mtbf_s=robot_mtbf_s,
+                        robot_fault_permanent_p=permanent_p,
+                        **overrides,
+                    )
+                )
+                cells.append((algorithm, permanent_p))
+
+    ordered, cache = run_many(
+        configs,
+        parallel=parallel,
+        max_workers=max_workers,
+        store=store,
+    )
+
+    groups: typing.Dict[typing.Tuple[str, float], list] = {}
+    for cell, report in zip(cells, ordered):
+        groups.setdefault(cell, []).append(report)
+
+    # SweepPoint keys x by an int; index into the p grid instead of the
+    # (fractional) probability itself.
+    points = tuple(
+        SweepPoint(
+            algorithm=algorithm,
+            robot_count=index,
+            reports=tuple(groups[(algorithm, permanent_p)]),
+        )
+        for algorithm in _ALGORITHMS
+        for index, permanent_p in enumerate(permanent_p_values)
+    )
+    result = SweepResult(points=points, cache=cache)
+
+    series = {
+        algorithm: tuple(
+            result.point(algorithm, index).mean("unrepaired_fraction")
+            for index in range(len(permanent_p_values))
+        )
+        for algorithm in _ALGORITHMS
+    }
+
+    total_faults = sum(
+        report.robot_faults for reports in groups.values() for report in reports
+    )
+    permanence_hurts = all(
+        series[algorithm][-1] >= series[algorithm][0] - 0.05
+        for algorithm in _ALGORITHMS
+    )
+    claims = (
+        ClaimCheck(
+            claim="robot faults occur across the permanence grid",
+            holds=total_faults > 0,
+            detail=f"{total_faults} faults over {len(configs)} runs",
+        ),
+        ClaimCheck(
+            claim=(
+                "permanent crashes leave no smaller unrepaired fraction "
+                "than recoverable ones (tolerance 0.05)"
+            ),
+            holds=permanence_hurts,
+            detail="; ".join(
+                f"{algorithm}: {[round(v, 3) for v in series[algorithm]]}"
+                for algorithm in _ALGORITHMS
+            ),
+        ),
+    )
+    return FigureResult(
+        figure=(
+            "Resilience — unrepaired failure fraction vs breakdown "
+            f"permanence (MTBF {robot_mtbf_s:g} s, {robot_count} robots)"
+        ),
+        x_values=tuple(range(len(permanent_p_values))),
+        series=series,
+        claims=claims,
+        sweep_result=result,
+        x_label="permanent-crash probability (grid index: "
+        + ", ".join(f"{i}={p:g}" for i, p in enumerate(permanent_p_values))
+        + ")",
     )

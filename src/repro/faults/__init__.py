@@ -18,6 +18,11 @@ failure declaration, manager failover, and repair reconciliation.
 
 from repro.faults.injector import FaultInjector
 from repro.faults.model import ExponentialFaultModel
+from repro.faults.network import (
+    FaultRegion,
+    NetworkFaultField,
+    NetworkFaultService,
+)
 from repro.faults.recovery import ResilienceService
 from repro.faults.script import (
     FaultEvent,
@@ -28,12 +33,17 @@ from repro.faults.script import (
     parse_fault_script,
     resolve_downtime,
 )
+from repro.faults.verify import ProbeCoordinator
 
 __all__ = [
     "ExponentialFaultModel",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
+    "FaultRegion",
+    "NetworkFaultField",
+    "NetworkFaultService",
+    "ProbeCoordinator",
     "ResilienceService",
     "dump_fault_script",
     "load_fault_script",

@@ -48,6 +48,8 @@ class FaultInjector:
         self._started = True
         sim = self.runtime.sim
         for event in self.config.fault_script or ():
+            if event.kind in FaultKind.NETWORK:
+                continue  # Scheduled by the NetworkFaultService instead.
             sim.call_at(event.time, lambda e=event: self._apply(e))
         if self.config.robot_mtbf_s is not None:
             model = ExponentialFaultModel(
@@ -92,6 +94,10 @@ class FaultInjector:
     # Scripted campaigns
     # ------------------------------------------------------------------
     def _apply(self, event: FaultEvent) -> None:
+        if event.kind in FaultKind.NETWORK:
+            # Network-region events are scheduled by the
+            # NetworkFaultService; the injector only breaks hardware.
+            return
         runtime = self.runtime
         manager = runtime.manager
         if event.kind == FaultKind.MANAGER_DOWN or (

@@ -30,6 +30,8 @@ __all__ = [
 class FaultKind:
     """What breaks when a :class:`FaultEvent` fires.
 
+    Robot/manager kinds (target is a node id):
+
     * ``BREAKDOWN`` — a robot halts where it is (en-route or parked) and
       recovers after a downtime (``duration`` or the config default).
     * ``CRASH`` — a robot dies permanently (``duration`` must be None).
@@ -37,14 +39,29 @@ class FaultKind:
       the default downtime (a recharge, not a field fix).
     * ``MANAGER_DOWN`` — the central manager goes dark; with a
       ``duration`` it restarts, without one it stays dead.
+
+    Network kinds (target is a free-form region label; ``x``/``y``/
+    ``radius`` describe a disk, handled by ``repro.faults.network``):
+
+    * ``JAM`` — every frame arriving at a receiver inside the disk is
+      dropped with probability ``severity`` (default 1.0).
+    * ``DEGRADE`` — like ``JAM`` but meant for partial interference;
+      ``severity`` defaults to 0.5.
+    * ``PARTITION`` — a hard cut at the disk's boundary: frames whose
+      sender and receiver are on opposite sides never arrive.
     """
 
     BREAKDOWN = "breakdown"
     CRASH = "crash"
     BATTERY = "battery"
     MANAGER_DOWN = "manager_down"
+    JAM = "jam"
+    DEGRADE = "degrade"
+    PARTITION = "partition"
 
-    ALL = (BREAKDOWN, CRASH, BATTERY, MANAGER_DOWN)
+    ROBOT = (BREAKDOWN, CRASH, BATTERY, MANAGER_DOWN)
+    NETWORK = (JAM, DEGRADE, PARTITION)
+    ALL = ROBOT + NETWORK
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -54,12 +71,22 @@ class FaultEvent:
     ``duration`` overrides the config's default downtime; None means
     "use the default" for recoverable kinds and "permanent" for
     ``CRASH`` and ``MANAGER_DOWN``.
+
+    Network kinds additionally carry the region geometry: ``x``/``y``
+    (disk center) and ``radius`` are required, ``severity`` is the
+    per-frame drop probability in ``(0, 1]`` (default per kind), and
+    ``duration`` (None = for the rest of the run) bounds the outage.
+    Robot kinds must leave all four geometry fields None.
     """
 
     time: float
     target: str
     kind: str
     duration: typing.Optional[float] = None
+    x: typing.Optional[float] = None
+    y: typing.Optional[float] = None
+    radius: typing.Optional[float] = None
+    severity: typing.Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -74,6 +101,28 @@ class FaultEvent:
             )
         if self.kind == FaultKind.CRASH and self.duration is not None:
             raise ValueError("a crash is permanent: duration must be None")
+        if self.kind in FaultKind.NETWORK:
+            if self.x is None or self.y is None or self.radius is None:
+                raise ValueError(
+                    f"network fault {self.kind!r} requires x, y and radius"
+                )
+            if self.radius <= 0:
+                raise ValueError(
+                    f"fault region radius must be positive: {self.radius}"
+                )
+            if self.severity is not None and not (
+                0.0 < self.severity <= 1.0
+            ):
+                raise ValueError(
+                    f"fault severity must be in (0, 1]: {self.severity}"
+                )
+        else:
+            for name in ("x", "y", "radius", "severity"):
+                if getattr(self, name) is not None:
+                    raise ValueError(
+                        f"{name!r} only applies to network fault kinds, "
+                        f"not {self.kind!r}"
+                    )
 
     @property
     def sort_key(self) -> typing.Tuple[float, str, str]:
@@ -84,31 +133,53 @@ class FaultEvent:
     # JSON round trip (repro.store digest preimage)
     # ------------------------------------------------------------------
     def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        def opt(value: typing.Optional[float]) -> typing.Optional[float]:
+            return float(value) if value is not None else None
+
         return {
             "time": float(self.time),
             "target": self.target,
             "kind": self.kind,
-            "duration": (
-                float(self.duration) if self.duration is not None else None
-            ),
+            "duration": opt(self.duration),
+            "x": opt(self.x),
+            "y": opt(self.y),
+            "radius": opt(self.radius),
+            "severity": opt(self.severity),
         }
 
     @classmethod
     def from_json_dict(
         cls, data: typing.Mapping[str, typing.Any]
     ) -> "FaultEvent":
-        known = {"time", "target", "kind", "duration"}
+        known = {
+            "time",
+            "target",
+            "kind",
+            "duration",
+            "x",
+            "y",
+            "radius",
+            "severity",
+        }
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(
                 f"unknown FaultEvent fields: {', '.join(unknown)}"
             )
-        duration = data.get("duration")
+
+        def opt(name: str) -> typing.Optional[float]:
+            value = data.get(name)
+            return float(value) if value is not None else None
+
         return cls(
             time=float(data["time"]),
             target=str(data["target"]),
             kind=str(data["kind"]),
-            duration=float(duration) if duration is not None else None,
+            duration=opt("duration"),
+            x=opt("x"),
+            y=opt("y"),
+            radius=opt("radius"),
+            severity=opt("severity"),
         )
 
 

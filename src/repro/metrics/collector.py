@@ -24,6 +24,7 @@ from repro.routing.stats import RoutingStats
 
 __all__ = [
     "FailureRecord",
+    "FalseDispatchRecord",
     "MetricsCollector",
     "RobotFaultRecord",
     "RunReport",
@@ -112,6 +113,24 @@ class RobotFaultRecord:
     recover_time: typing.Optional[float] = None
 
 
+@dataclasses.dataclass(slots=True)
+class FalseDispatchRecord:
+    """One robot trip triggered by a report about a live sensor.
+
+    Collector-internal: false dispatches summarise into
+    :class:`RunReport` counters but are not serialized per-record.
+    """
+
+    failed_id: str
+    robot_id: str
+    time: float
+    #: Metres driven for this trip (the wasted leg).
+    wasted_m: float
+    #: True when on-site verification aborted the replacement; False
+    #: when an unverified run actually swapped out a live sensor.
+    aborted: bool
+
+
 class MetricsCollector:
     """Accumulates :class:`FailureRecord` entries during a run.
 
@@ -126,6 +145,14 @@ class MetricsCollector:
         #: that is not attributable to a single failure).
         self.robot_distance: typing.Dict[str, float] = {}
         self._robot_faults: typing.List[RobotFaultRecord] = []
+        #: Verification-protocol counters (all stay zero when the
+        #: protocol and network faults are off).
+        self._false_dispatches: typing.List[FalseDispatchRecord] = []
+        self.suspicions = 0
+        self.suspicions_cleared = 0
+        self.probes_sent = 0
+        self.probes_answered = 0
+        self._verification_latencies: typing.List[float] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -244,6 +271,57 @@ class MetricsCollector:
         return list(self._robot_faults)
 
     # ------------------------------------------------------------------
+    # Recording: failure verification (network-fault extension)
+    # ------------------------------------------------------------------
+    def record_suspicion(
+        self, node_id: str, guardian_id: str, time: float
+    ) -> None:
+        """A guardian opened a suspicion case on *node_id*."""
+        self.suspicions += 1
+
+    def record_suspicion_resolved(
+        self, node_id: str, time: float, latency_s: float, outcome: str
+    ) -> None:
+        """A suspicion case closed; *outcome* is ``"cleared"`` or the
+        confidence the resulting report carried."""
+        self._verification_latencies.append(latency_s)
+        if outcome == "cleared":
+            self.suspicions_cleared += 1
+
+    def record_probe(self, node_id: str) -> None:
+        """A dispatcher probed a suspected sensor."""
+        self.probes_sent += 1
+
+    def record_probe_answered(
+        self, node_id: str, round_trip_s: float
+    ) -> None:
+        """A suspected sensor answered a dispatcher's probe."""
+        self.probes_answered += 1
+
+    def record_false_dispatch(
+        self,
+        failed_id: str,
+        robot_id: str,
+        time: float,
+        wasted_m: float,
+        aborted: bool,
+    ) -> None:
+        """A robot was sent to a sensor that was in fact alive."""
+        self._false_dispatches.append(
+            FalseDispatchRecord(
+                failed_id=failed_id,
+                robot_id=robot_id,
+                time=time,
+                wasted_m=wasted_m,
+                aborted=aborted,
+            )
+        )
+
+    def false_dispatches(self) -> typing.List[FalseDispatchRecord]:
+        """All false-dispatch records in occurrence order."""
+        return list(self._false_dispatches)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def records(self) -> typing.List[FailureRecord]:
@@ -321,6 +399,23 @@ class MetricsCollector:
             orphaned=sum(
                 1 for r in records if r.orphan_reason is not None
             ),
+            suspicions=self.suspicions,
+            suspicions_cleared=self.suspicions_cleared,
+            probes_sent=self.probes_sent,
+            probes_answered=self.probes_answered,
+            false_dispatches=len(self._false_dispatches),
+            aborted_replacements=sum(
+                1 for d in self._false_dispatches if d.aborted
+            ),
+            false_replacements=sum(
+                1 for d in self._false_dispatches if not d.aborted
+            ),
+            wasted_travel_m=sum(
+                d.wasted_m for d in self._false_dispatches
+            ),
+            mean_verification_latency_s=_mean(
+                self._verification_latencies
+            ),
         )
 
 
@@ -352,6 +447,21 @@ class RunReport:
     mean_fault_detection_latency_s: float = float("nan")
     redispatches: int = 0
     orphaned: int = 0
+    #: Verification metrics (network-fault extension; all zero/NaN when
+    #: the protocol and network faults are disabled).
+    suspicions: int = 0
+    suspicions_cleared: int = 0
+    probes_sent: int = 0
+    probes_answered: int = 0
+    #: Robot trips to sensors that were in fact alive (total).
+    false_dispatches: int = 0
+    #: ... of which on-site verification aborted the swap.
+    aborted_replacements: int = 0
+    #: ... of which a live sensor was actually replaced (unverified).
+    false_replacements: int = 0
+    #: Metres driven on false-dispatch trips.
+    wasted_travel_m: float = 0.0
+    mean_verification_latency_s: float = float("nan")
 
     @property
     def unrepaired_fraction(self) -> float:
@@ -387,6 +497,21 @@ class RunReport:
                 f"re-dispatches: {self.redispatches}; "
                 f"orphaned failures: {self.orphaned}; "
                 f"unrepaired fraction: {self.unrepaired_fraction:.3f}"
+            )
+        if self.suspicions or self.false_dispatches:
+            lines.append(
+                f"suspicions: {self.suspicions} "
+                f"(cleared {self.suspicions_cleared}); "
+                f"probes: {self.probes_sent} "
+                f"(answered {self.probes_answered}); "
+                f"verification latency: "
+                f"{self.mean_verification_latency_s:.1f} s"
+            )
+            lines.append(
+                f"false dispatches: {self.false_dispatches} "
+                f"(aborted {self.aborted_replacements}, "
+                f"replaced-alive {self.false_replacements}); "
+                f"wasted travel: {self.wasted_travel_m:.1f} m"
             )
         return lines
 

@@ -75,6 +75,25 @@ class BeaconService:
         """Stop beaconing after the current period elapses."""
         self._running = False
 
+    def beacon_now(self) -> None:
+        """Send one immediate off-cycle beacon (verification extension).
+
+        A suspected-but-alive node answers its accusers with this; the
+        periodic loop's phase is deliberately left untouched so an extra
+        beacon never shifts the regular schedule.
+        """
+        if not self.node.alive:
+            return
+        self.node.send_broadcast(
+            Category.BEACON,
+            NodeAnnouncement(
+                node_id=self.node.node_id,
+                position=self.node.position,
+                kind=self.node.kind,
+            ),
+        )
+        self.beacons_sent += 1
+
     def _beacon_loop(self) -> typing.Generator:
         sim: Simulator = self.node.sim
         yield sim.timeout(self._rng.uniform(0.0, self.period))

@@ -26,9 +26,25 @@ from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.network import NetworkFaultField
     from repro.net.node import NetworkNode
 
-__all__ = ["Channel", "ChannelStats"]
+__all__ = ["Channel", "ChannelStats", "DropCause"]
+
+
+class DropCause:
+    """Why a receiver-side frame drop happened.
+
+    ``LOSS`` is the uniform Bernoulli loss model; ``JAM`` and
+    ``PARTITION`` come from the spatial fault field (which also files
+    ``DEGRADE`` regions under ``JAM`` — both are interference drops).
+    """
+
+    LOSS = "loss"
+    JAM = "jam"
+    PARTITION = "partition"
+
+    ALL = (LOSS, JAM, PARTITION)
 
 
 class ChannelStats:
@@ -41,12 +57,30 @@ class ChannelStats:
         self.frames_sent = 0
         #: Frame deliveries (one frame may deliver to many receivers).
         self.frames_delivered = 0
-        #: Receiver-side losses injected by the loss model.
+        #: Receiver-side drops, all causes (= loss + jam + partition).
         self.frames_lost = 0
+        #: Receiver-side drops from the uniform Bernoulli loss model.
+        self.dropped_loss = 0
+        #: Receiver-side drops inside a jamming/degraded region.
+        self.dropped_jam = 0
+        #: Receiver-side drops across a hard partition boundary.
+        self.dropped_partition = 0
         #: Unicast frames that found no live receiver in range.
         self.frames_unreachable = 0
         #: Link-layer retransmissions, per category (lossy mode only).
         self.retransmissions: typing.Counter[str] = collections.Counter()
+
+    def count_drop(self, cause: str) -> None:
+        """Record one receiver-side drop attributed to *cause*."""
+        self.frames_lost += 1
+        if cause == DropCause.LOSS:
+            self.dropped_loss += 1
+        elif cause == DropCause.JAM:
+            self.dropped_jam += 1
+        elif cause == DropCause.PARTITION:
+            self.dropped_partition += 1
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown drop cause: {cause!r}")
 
     def snapshot(self) -> typing.Dict[str, typing.Any]:
         """A plain-dict copy, convenient for reports and assertions."""
@@ -55,6 +89,9 @@ class ChannelStats:
             "frames_sent": self.frames_sent,
             "frames_delivered": self.frames_delivered,
             "frames_lost": self.frames_lost,
+            "dropped_loss": self.dropped_loss,
+            "dropped_jam": self.dropped_jam,
+            "dropped_partition": self.dropped_partition,
             "frames_unreachable": self.frames_unreachable,
             "retransmissions": dict(self.retransmissions),
         }
@@ -74,6 +111,13 @@ class ChannelStats:
                 current["frames_delivered"] - earlier["frames_delivered"]
             ),
             "frames_lost": current["frames_lost"] - earlier["frames_lost"],
+            "dropped_loss": (
+                current["dropped_loss"] - earlier["dropped_loss"]
+            ),
+            "dropped_jam": current["dropped_jam"] - earlier["dropped_jam"],
+            "dropped_partition": (
+                current["dropped_partition"] - earlier["dropped_partition"]
+            ),
             "frames_unreachable": (
                 current["frames_unreachable"]
                 - earlier["frames_unreachable"]
@@ -121,6 +165,11 @@ class Channel:
         self.propagation_delay = propagation_delay
         self.stats = ChannelStats()
         self._loss_rng = (streams or RandomStreams(0)).stream("channel.loss")
+        #: Optional spatial fault field (jamming/partition regions);
+        #: installed by ``repro.faults.network.NetworkFaultService``.
+        #: ``None`` keeps the transmit path bit-identical to a channel
+        #: without the fault model.
+        self.fault_field: typing.Optional["NetworkFaultField"] = None
         self._nodes: typing.Dict[NodeId, "NetworkNode"] = {}
         # Cell size tuned to the *sensor* radio: sensor broadcasts are by
         # far the most frequent range query, and a 250 m cell would scan
@@ -243,13 +292,26 @@ class Channel:
 
         sender_id = sender.node_id
         sender_position = sender.position
-        if loss_rate > 0.0:
+        fault_field = self.fault_field
+        faults_active = fault_field is not None and fault_field.active
+        if loss_rate > 0.0 or faults_active:
             surviving = []
             for receiver in receivers:
-                if self._loss_rng.random() < loss_rate:
-                    self.stats.frames_lost += 1
-                else:
+                cause = None
+                if faults_active:
+                    cause = fault_field.drop_cause(
+                        sender_position, receiver.position
+                    )
+                if (
+                    cause is None
+                    and loss_rate > 0.0
+                    and self._loss_rng.random() < loss_rate
+                ):
+                    cause = DropCause.LOSS
+                if cause is None:
                     surviving.append(receiver.node_id)
+                else:
+                    self.stats.count_drop(cause)
         else:
             surviving = [receiver.node_id for receiver in receivers]
         if not surviving:

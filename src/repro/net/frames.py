@@ -63,6 +63,7 @@ class Category:
     DATA = "data"
     ACK = "ack"
     HEARTBEAT = "heartbeat"
+    VERIFICATION = "verification"
 
     #: All categories, for iteration in reports.
     ALL = (
@@ -76,6 +77,7 @@ class Category:
         DATA,
         ACK,
         HEARTBEAT,
+        VERIFICATION,
     )
 
 

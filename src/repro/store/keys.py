@@ -27,7 +27,10 @@ __all__ = ["STORE_SCHEMA_VERSION", "canonical_json", "config_digest"]
 #: simulator change alters what a cached result means.
 #: 2: fault-injection config fields (robot MTBF, fault scripts,
 #: heartbeat/redispatch tuning) and resilience metrics in RunReport.
-STORE_SCHEMA_VERSION = 2
+#: 3: network-fault config fields (jam rate/radius/duration, network
+#: fault-script kinds, verification knobs) and the false-dispatch /
+#: verification metric family in RunReport.
+STORE_SCHEMA_VERSION = 3
 
 
 def canonical_json(value: typing.Any) -> str:

@@ -61,3 +61,47 @@ class TestFaultLiveness:
             f"{algorithm} seed={seed} loss={loss_rate}: silently "
             f"dropped: {[record.node_id for record in unresolved]}"
         )
+
+
+class TestVerifiedDispatchSafety:
+    """Verification safety: no live-at-dispatch sensor is ever replaced.
+
+    Under lossy links, stochastic jam disks, and recoverable robot
+    breakdowns all at once, turning ``verify_failures`` on must drive
+    erroneous replacements to exactly zero — whatever the seed draws.
+    False *dispatches* may still happen (a robot can be sent before the
+    on-site check), but every one of them must end in an abort, never a
+    replacement of a living sensor.
+    """
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        loss_rate=st.sampled_from([0.02, 0.05, 0.1]),
+    )
+    def test_no_live_sensor_replaced_with_verification(
+        self, algorithm, seed, loss_rate
+    ):
+        config = paper_scenario(
+            algorithm,
+            4,
+            seed=seed,
+            sensors_per_robot=25,
+            sim_time_s=6_000.0,
+            loss_rate=loss_rate,
+            jam_rate=0.002,
+            jam_radius_m=120.0,
+            jam_duration_mtbf_s=400.0,
+            robot_mtbf_s=6_000.0,
+            robot_downtime_s=600.0,
+            verify_failures=True,
+        )
+        runtime = ScenarioRuntime(config)
+        report = runtime.run()
+        assert runtime.network_faults is not None  # the chaos actually ran
+        assert report.false_replacements == 0, (
+            f"{algorithm} seed={seed} loss={loss_rate}: replaced "
+            f"{report.false_replacements} sensor(s) that were still alive"
+        )
+        assert report.false_dispatches == report.aborted_replacements

@@ -73,9 +73,157 @@ class TestFaultEvent:
                     "time": 0.0,
                     "target": "r",
                     "kind": FaultKind.BREAKDOWN,
-                    "severity": 11,
+                    "blast_radius": 11,
                 }
             )
+
+
+class TestNetworkFaultEvents:
+    def _jam(self, **overrides):
+        fields = dict(
+            time=100.0,
+            target="field",
+            kind=FaultKind.JAM,
+            duration=300.0,
+            x=50.0,
+            y=60.0,
+            radius=80.0,
+        )
+        fields.update(overrides)
+        return FaultEvent(**fields)
+
+    def test_valid_network_kinds(self):
+        for kind in FaultKind.NETWORK:
+            event = self._jam(kind=kind)
+            assert event.kind == kind
+            assert event.severity is None  # default: kind-specific
+
+    def test_kind_groups_partition_fault_kinds(self):
+        assert set(FaultKind.ALL) == set(FaultKind.ROBOT) | set(
+            FaultKind.NETWORK
+        )
+        assert not set(FaultKind.ROBOT) & set(FaultKind.NETWORK)
+
+    def test_network_kind_requires_geometry(self):
+        for missing in ("x", "y", "radius"):
+            with pytest.raises(ValueError):
+                self._jam(**{missing: None})
+
+    def test_nonpositive_radius_rejected(self):
+        with pytest.raises(ValueError):
+            self._jam(radius=0.0)
+
+    def test_severity_bounds(self):
+        assert self._jam(severity=0.25).severity == 0.25
+        assert self._jam(severity=1.0).severity == 1.0
+        with pytest.raises(ValueError):
+            self._jam(severity=0.0)
+        with pytest.raises(ValueError):
+            self._jam(severity=1.5)
+
+    def test_robot_kind_rejects_geometry(self):
+        for field in ("x", "y", "radius", "severity"):
+            with pytest.raises(ValueError):
+                FaultEvent(
+                    time=0.0,
+                    target="robot-00",
+                    kind=FaultKind.BREAKDOWN,
+                    **{field: 1.0},
+                )
+
+    def test_json_round_trip_network_event(self):
+        event = self._jam(kind=FaultKind.DEGRADE, severity=0.5)
+        data = event.to_json_dict()
+        assert data["x"] == 50.0 and data["radius"] == 80.0
+        assert FaultEvent.from_json_dict(data) == event
+
+    def test_dump_parse_round_trip_mixed_script(self):
+        script = normalize_fault_script(
+            [
+                self._jam(),
+                FaultEvent(
+                    time=5.0, target="robot-00", kind=FaultKind.CRASH
+                ),
+            ]
+        )
+        assert parse_fault_script(dump_fault_script(script)) == script
+
+    def test_config_flags_network_faults(self):
+        plain = paper_scenario(Algorithm.DYNAMIC, 4)
+        assert not plain.network_faults_enabled
+        scripted = paper_scenario(
+            Algorithm.DYNAMIC, 4, fault_script=(self._jam(),)
+        )
+        assert scripted.network_faults_enabled
+        assert scripted.faults_enabled
+        stochastic = paper_scenario(Algorithm.DYNAMIC, 4, jam_rate=0.01)
+        assert stochastic.network_faults_enabled
+        # A robot-only script enables faults but not network faults.
+        robot_only = paper_scenario(
+            Algorithm.DYNAMIC,
+            4,
+            fault_script=(
+                FaultEvent(
+                    time=5.0, target="robot-00", kind=FaultKind.CRASH
+                ),
+            ),
+        )
+        assert robot_only.faults_enabled
+        assert not robot_only.network_faults_enabled
+
+    def test_config_json_round_trip_with_network_knobs(self):
+        config = paper_scenario(
+            Algorithm.CENTRALIZED,
+            4,
+            jam_rate=0.005,
+            jam_radius_m=75.0,
+            jam_duration_mtbf_s=200.0,
+            jam_loss_rate=0.8,
+            verify_failures=True,
+            verification_quorum=3,
+            fault_script=(self._jam(),),
+        )
+        rebuilt = type(config).from_json_dict(
+            json.loads(json.dumps(config.to_json_dict()))
+        )
+        assert rebuilt == config
+        assert config_digest(rebuilt) == config_digest(config)
+
+    def test_digest_sensitive_to_verification_knobs(self):
+        base = paper_scenario(Algorithm.DYNAMIC, 4)
+        assert config_digest(base) != config_digest(
+            base.replace(verify_failures=True)
+        )
+        assert config_digest(base) != config_digest(
+            base.replace(jam_rate=0.001)
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, jam_rate=-0.1)
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, jam_radius_m=0.0)
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, jam_duration_mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, jam_loss_rate=0.0)
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, jam_loss_rate=1.5)
+        with pytest.raises(ValueError):
+            paper_scenario(Algorithm.DYNAMIC, 4, verification_quorum=0)
+        with pytest.raises(ValueError):
+            paper_scenario(
+                Algorithm.DYNAMIC, 4, verification_timeout_s=0.0
+            )
+
+    def test_describe_mentions_verification(self):
+        config = paper_scenario(
+            Algorithm.DYNAMIC, 4, verify_failures=True
+        )
+        assert "verify" in config.describe()
+        assert "verify" not in paper_scenario(
+            Algorithm.DYNAMIC, 4
+        ).describe()
 
 
 class TestScriptHelpers:

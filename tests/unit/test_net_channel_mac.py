@@ -295,3 +295,144 @@ class TestMacSerialisation:
             node.send_broadcast(Category.DATA, "x")
         sim.run(until=2.0)
         assert len(set(times)) == len(times)  # no two at the same instant
+
+
+class TestDropCauses:
+    """Per-cause drop accounting and the network-fault field hook."""
+
+    def _field(self, seed=0):
+        from repro.faults.network import NetworkFaultField
+
+        return NetworkFaultField(RandomStreams(seed).stream("channel.jam"))
+
+    def _region(self, kind, center, radius, severity=1.0):
+        from repro.faults.network import FaultRegion
+
+        return FaultRegion(
+            label="r", kind=kind, center=center, radius=radius,
+            severity=severity,
+        )
+
+    def test_count_drop_rejects_unknown_cause(self):
+        from repro.net.channel import ChannelStats
+
+        stats = ChannelStats()
+        with pytest.raises(ValueError):
+            stats.count_drop("cosmic-rays")
+
+    def test_count_drop_increments_total_and_cause(self):
+        from repro.net.channel import ChannelStats, DropCause
+
+        stats = ChannelStats()
+        stats.count_drop(DropCause.LOSS)
+        stats.count_drop(DropCause.JAM)
+        stats.count_drop(DropCause.JAM)
+        stats.count_drop(DropCause.PARTITION)
+        assert stats.frames_lost == 4
+        assert stats.dropped_loss == 1
+        assert stats.dropped_jam == 2
+        assert stats.dropped_partition == 1
+
+    def test_bernoulli_loss_attributed_to_loss(self):
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0)], loss=0.5, seed=5
+        )
+        for index in range(40):
+            nodes[0].send_broadcast(Category.DATA, index)
+        sim.run(until=60.0)
+        assert channel.stats.dropped_loss == channel.stats.frames_lost > 0
+        assert channel.stats.dropped_jam == 0
+        assert channel.stats.dropped_partition == 0
+
+    def test_jam_region_drops_receivers_inside_only(self):
+        from repro.faults.script import FaultKind
+
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(50, 0), Point(120, 0)],
+            radio=RadioConfig(range_m=200.0),
+        )
+        field = self._field()
+        field.add(self._region(FaultKind.JAM, Point(50, 0), 30.0))
+        channel.fault_field = field
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert nodes[1].broadcasts == []  # inside the disk: jammed
+        assert len(nodes[2].broadcasts) == 1  # outside: heard
+        assert channel.stats.dropped_jam == 1
+        assert channel.stats.dropped_loss == 0
+
+    def test_jammed_sender_still_heard_outside(self):
+        from repro.faults.script import FaultKind
+
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(50, 0)],
+            radio=RadioConfig(range_m=200.0),
+        )
+        field = self._field()
+        field.add(self._region(FaultKind.JAM, Point(0, 0), 10.0))
+        channel.fault_field = field
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        # Jamming blinds receivers in the disk, not senders: the jammed
+        # node's own transmission escapes.
+        assert len(nodes[1].broadcasts) == 1
+        assert channel.stats.frames_lost == 0
+
+    def test_partition_drops_boundary_crossings_both_ways(self):
+        from repro.faults.script import FaultKind
+
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(50, 0), Point(20, 0)],
+            radio=RadioConfig(range_m=200.0),
+        )
+        field = self._field()
+        field.add(self._region(FaultKind.PARTITION, Point(0, 0), 30.0))
+        channel.fault_field = field
+        nodes[0].send_broadcast(Category.DATA, "in->out")
+        nodes[1].send_broadcast(Category.DATA, "out->in")
+        sim.run(until=1.0)
+        # n00 (inside) to n02 (inside) crosses nothing; to n01 it does.
+        assert [p.payload for (p, s) in nodes[2].broadcasts] == ["in->out"]
+        assert nodes[0].broadcasts == []  # out->in dropped at n00
+        assert [p.payload for (p, s) in nodes[1].broadcasts] == []
+        # Crossings dropped: n00->n01, n01->n00, and n01->n02.
+        assert channel.stats.dropped_partition == 3
+        assert channel.stats.dropped_jam == 0
+
+    def test_degrade_severity_is_probabilistic(self):
+        from repro.faults.script import FaultKind
+
+        sim, channel, nodes = build(
+            [Point(0, 0), Point(10, 0)],
+            radio=RadioConfig(range_m=200.0),
+        )
+        field = self._field(seed=2)
+        field.add(
+            self._region(FaultKind.DEGRADE, Point(10, 0), 5.0, severity=0.5)
+        )
+        channel.fault_field = field
+        for index in range(60):
+            nodes[0].send_broadcast(Category.DATA, index)
+        sim.run(until=90.0)
+        received = len(nodes[1].broadcasts)
+        assert 0 < received < 60  # some pass, some jam
+        assert channel.stats.dropped_jam == 60 - received
+
+    def test_inactive_field_counts_nothing(self):
+        sim, channel, nodes = build([Point(0, 0), Point(10, 0)])
+        channel.fault_field = self._field()
+        nodes[0].send_broadcast(Category.DATA, "x")
+        sim.run(until=1.0)
+        assert len(nodes[1].broadcasts) == 1
+        assert channel.stats.frames_lost == 0
+
+    def test_snapshot_diff_covers_drop_causes(self):
+        from repro.net.channel import ChannelStats, DropCause
+
+        stats = ChannelStats()
+        before = stats.snapshot()
+        stats.count_drop(DropCause.JAM)
+        diff = stats.diff_since(before)
+        assert diff["dropped_jam"] == 1
+        assert diff["dropped_loss"] == 0
+        assert diff["dropped_partition"] == 0

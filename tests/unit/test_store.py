@@ -276,3 +276,65 @@ class TestRunStore:
         digest = store.put(CONFIG, make_report())
         assert store.resolve_prefix(digest[:8]) == [digest]
         assert store.resolve_prefix("zzzz") == []
+
+
+class TestSchemaV3Migration:
+    """Schema 2 -> 3 bump: network-fault config fields and the
+    false-dispatch metric family changed digests and entry payloads."""
+
+    def test_current_schema_is_v3(self):
+        assert STORE_SCHEMA_VERSION == 3
+
+    def _put_v2_entry(self, store, monkeypatch):
+        """Write an entry exactly as a schema-2 build would have."""
+        monkeypatch.setattr(store_keys, "STORE_SCHEMA_VERSION", 2)
+        digest = store.put(CONFIG, make_report())
+        monkeypatch.undo()
+        return digest
+
+    def test_v2_entries_are_skipped_not_read(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        v2 = self._put_v2_entry(store, monkeypatch)
+        # A v3 lookup of the same config misses: the digest preimage
+        # includes the schema version, so v2 results are never reused.
+        assert store.get(CONFIG) is None
+        assert store.put(CONFIG, make_report()) != v2
+
+    def test_v2_entries_survive_verify(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        self._put_v2_entry(store, monkeypatch)
+        store.put(CONFIG, make_report())
+        outcome = store.verify()
+        assert outcome.passed
+        assert outcome.ok == 1  # the current-schema entry
+        assert len(outcome.stale) == 1  # the v2 entry, not corrupt
+        assert not outcome.corrupt
+
+    def test_gc_drops_v2_entries(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        self._put_v2_entry(store, monkeypatch)
+        current = store.put(CONFIG, make_report())
+        outcome = store.gc()
+        assert outcome.removed_stale == 1
+        assert outcome.kept == 1
+        assert os.path.exists(store.object_path(current))
+
+    def test_v3_report_round_trips_verification_metrics(self, tmp_path):
+        store = RunStore(tmp_path)
+        report = make_report(
+            suspicions=12,
+            suspicions_cleared=9,
+            probes_sent=3,
+            probes_answered=1,
+            false_dispatches=2,
+            aborted_replacements=2,
+            false_replacements=0,
+            wasted_travel_m=150.5,
+            mean_verification_latency_s=30.0,
+        )
+        store.put(CONFIG, report)
+        loaded = store.get(CONFIG)
+        assert loaded is not None
+        assert loaded.false_dispatches == 2
+        assert loaded.aborted_replacements == 2
+        assert loaded.wasted_travel_m == 150.5
