@@ -8,9 +8,13 @@ timing changes.
 
 import random
 
+import pytest
+
 from repro.deploy import connected_uniform_positions
 from repro.geometry import Point, Rect, voronoi_cells
 from repro.net import Category, Channel, NetworkNode, RadioConfig
+from repro.net.frames import BROADCAST, Frame, Packet
+from repro.perf.bench import PAPER_DENSITIES, _SIDE_PER_SENSOR_M
 from repro.routing import RoutingStats
 from repro.net.spatial import SpatialGrid
 from repro.sim import RandomStreams, Simulator
@@ -54,6 +58,64 @@ def test_bench_spatial_grid_queries(benchmark):
         return sum(len(grid.within(p, 63.0)) for p in probes)
 
     assert benchmark(query_all) > 0
+
+
+def _fanout_field(sensors, loss_rate=0.0):
+    """A sensor field at the paper's density, ready to broadcast."""
+    sim = Simulator()
+    streams = RandomStreams(5)
+    channel = Channel(sim, streams)
+    side = _SIDE_PER_SENSOR_M * (sensors**0.5)
+    rng = random.Random(7)
+    nodes = [
+        NetworkNode(
+            f"s{index:04d}",
+            Point(rng.uniform(0, side), rng.uniform(0, side)),
+            RadioConfig(range_m=63.0, loss_rate=loss_rate),
+            sim,
+            channel,
+            streams,
+        )
+        for index in range(sensors)
+    ]
+    return sim, channel, nodes
+
+
+def _broadcast_round(sim, channel, nodes):
+    """Every node broadcasts one beacon; the simulator drains delivery."""
+    for node in nodes:
+        packet = Packet(
+            source=node.node_id,
+            destination=BROADCAST,
+            category=Category.BEACON,
+        )
+        channel.transmit(
+            node,
+            Frame(
+                sender=node.node_id,
+                link_destination=BROADCAST,
+                packet=packet,
+            ),
+        )
+    sim.run()
+    return channel.stats.frames_delivered
+
+
+@pytest.mark.parametrize("robots", sorted(PAPER_DENSITIES))
+def test_bench_channel_broadcast_fanout(benchmark, robots):
+    """Broadcast fan-out at the paper's three field densities."""
+    sim, channel, nodes = _fanout_field(PAPER_DENSITIES[robots])
+
+    delivered = benchmark(_broadcast_round, sim, channel, nodes)
+    assert delivered > 0
+
+
+def test_bench_channel_broadcast_fanout_lossy(benchmark):
+    """The densest field again, with a 10% lossy radio (ARQ machinery)."""
+    sim, channel, nodes = _fanout_field(PAPER_DENSITIES[16], loss_rate=0.1)
+
+    delivered = benchmark(_broadcast_round, sim, channel, nodes)
+    assert delivered > 0
 
 
 def test_bench_voronoi_construction(benchmark):

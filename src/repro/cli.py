@@ -110,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(compare, with_algorithm=False)
     _add_cache_arguments(compare)
+    _add_profile_argument(compare)
 
     figure = commands.add_parser(
         "figure", help="regenerate one of the paper's figures"
@@ -159,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the figure as an SVG line chart",
     )
     _add_cache_arguments(figure)
+    _add_profile_argument(figure)
 
     ablate = commands.add_parser(
         "ablate", help="run one of the ablation studies"
@@ -202,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="permanent-crash probabilities for --sweep-permanence "
         "(default: 0 0.5 1)",
     )
+    _add_profile_argument(faults)
 
     store = commands.add_parser(
         "store",
@@ -231,6 +234,23 @@ def build_parser() -> argparse.ArgumentParser:
             "store directory (default: $REPRO_STORE or "
             "~/.cache/repro-sim)"
         ),
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the hot-path microbenchmarks and record throughput",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="~4x smaller workloads (CI smoke scale)",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="FILE",
+        default="BENCH_results.json",
+        help="JSON file to merge results into (default: "
+        "BENCH_results.json; '-' prints to stdout only)",
     )
 
     commands.add_parser(
@@ -357,6 +377,20 @@ def _add_scenario_arguments(
         action="store_true",
         help="enable the failure-verification protocol (suspicion "
         "quorum, dispatcher probes, on-site checks)",
+    )
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    """``--profile [N]`` for the simulation-heavy commands."""
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        default=None,
+        type=int,
+        metavar="N",
+        help="run under cProfile and print the top N functions by "
+        "cumulative time to stderr (default N: 25)",
     )
 
 
@@ -800,6 +834,45 @@ def _command_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    """Run the microbenchmark battery; merge into BENCH_results.json."""
+    import json
+
+    from repro.perf import run_benchmarks
+
+    results = run_benchmarks(quick=args.quick)
+    rows = [
+        [name, f"{entry['throughput_per_s']:,.0f}"]
+        for name, entry in sorted(results.items())
+    ]
+    print(
+        render_table(
+            ["bench", "throughput / s"],
+            rows,
+            title="hot-path microbenchmarks"
+            + (" (quick scale)" if args.quick else ""),
+        )
+    )
+    if args.output != "-":
+        merged: typing.Dict[str, typing.Any] = {}
+        if os.path.exists(args.output):
+            try:
+                with open(args.output, "r", encoding="utf-8") as handle:
+                    merged = json.load(handle)
+            except (OSError, ValueError):
+                print(
+                    f"bench: could not parse {args.output}; rewriting",
+                    file=sys.stderr,
+                )
+                merged = {}
+        merged["microbenchmarks"] = results
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _command_params(_args: argparse.Namespace) -> int:
     config = paper_scenario(Algorithm.CENTRALIZED, 16)
     rows = [
@@ -833,10 +906,16 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         "ablate": _command_ablate,
         "faults": _command_faults,
         "store": _command_store,
+        "bench": _command_bench,
         "params": _command_params,
         "lint": _command_lint,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "profile", None):
+        from repro.perf import profile_call
+
+        return profile_call(lambda: handler(args), top=args.profile)
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

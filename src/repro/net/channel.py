@@ -15,6 +15,7 @@ determines event interleaving.
 
 from __future__ import annotations
 
+import bisect
 import collections
 import typing
 
@@ -175,6 +176,15 @@ class Channel:
         # far the most frequent range query, and a 250 m cell would scan
         # ~6x more candidates than needed for a 63 m disk.
         self._grid = SpatialGrid(cell_size=80.0)
+        #: Live node ids, maintained in sorted order incrementally so
+        #: :meth:`nodes` never re-sorts the full registry.
+        self._sorted_ids: typing.List[NodeId] = []
+        #: sender id -> (grid epoch, receiver list).  Sensors are static,
+        #: so a sender's receiver set only changes when a node registers,
+        #: unregisters, or moves — all of which bump the grid epoch.
+        self._receiver_cache: typing.Dict[
+            NodeId, typing.Tuple[int, typing.List["NetworkNode"]]
+        ] = {}
         #: Hooks called as ``hook(frame, sender_node)`` on every transmit.
         self.transmit_hooks: typing.List[
             typing.Callable[[Frame, "NetworkNode"], None]
@@ -189,12 +199,16 @@ class Channel:
             raise ValueError(f"duplicate node id: {node.node_id}")
         self._nodes[node.node_id] = node
         self._grid.insert(node.node_id, node.position)
+        bisect.insort(self._sorted_ids, node.node_id)
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node (on death); it can no longer send or receive."""
         if node_id in self._nodes:
             del self._nodes[node_id]
             self._grid.remove(node_id)
+            index = bisect.bisect_left(self._sorted_ids, node_id)
+            del self._sorted_ids[index]
+            self._receiver_cache.pop(node_id, None)
 
     def node_moved(self, node: "NetworkNode") -> None:
         """Must be called whenever a registered node's position changes."""
@@ -210,7 +224,8 @@ class Channel:
 
     def nodes(self) -> typing.List["NetworkNode"]:
         """All live nodes in deterministic (id-sorted) order."""
-        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+        nodes = self._nodes
+        return [nodes[node_id] for node_id in self._sorted_ids]
 
     # ------------------------------------------------------------------
     # Queries
@@ -219,17 +234,30 @@ class Channel:
         self, center: Point, radius: float, exclude: NodeId = ""
     ) -> typing.List["NetworkNode"]:
         """Live nodes within *radius* of *center*, id-sorted."""
+        nodes = self._nodes
         return [
-            self._nodes[node_id]
+            nodes[node_id]
             for node_id, _pos in self._grid.within(center, radius)
             if node_id != exclude
         ]
 
     def receivers_of(self, sender: "NetworkNode") -> typing.List["NetworkNode"]:
-        """Every node the *sender*'s radio currently reaches."""
-        return self.nodes_within(
+        """Every node the *sender*'s radio currently reaches.
+
+        The result is cached per sender and keyed on the spatial grid's
+        mutation epoch: sensors are static, so between node registrations,
+        removals, and robot moves the receiver set cannot change.  Treat
+        the returned list as read-only — it is shared between calls.
+        """
+        epoch = self._grid.epoch
+        cached = self._receiver_cache.get(sender.node_id)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        receivers = self.nodes_within(
             sender.position, sender.radio.range_m, exclude=sender.node_id
         )
+        self._receiver_cache[sender.node_id] = (epoch, receivers)
+        return receivers
 
     # ------------------------------------------------------------------
     # Transmission
@@ -244,8 +272,10 @@ class Channel:
         if sender.node_id not in self._nodes:
             return  # Sender died while the frame was queued.
 
-        self.stats.frames_sent += 1
-        self.stats.transmissions[frame.category] += 1
+        stats = self.stats
+        category = frame.category
+        stats.frames_sent += 1
+        stats.transmissions[category] += 1
         for hook in self.transmit_hooks:
             hook(frame, sender)
         if self.tracer.active:
@@ -254,7 +284,7 @@ class Channel:
                 time=self.sim.now,
                 sender=sender.node_id,
                 frame=frame,
-                frame_category=frame.category,
+                frame_category=category,
             )
 
         delay = (
@@ -277,7 +307,7 @@ class Channel:
                 # sender learns the hop is dead and re-routes (GPSR's
                 # neighbour-eviction reaction).  Only data frames get the
                 # notification — a lost ack is simply lost.
-                self.stats.frames_unreachable += 1
+                stats.frames_unreachable += 1
                 # In lossy mode the MAC's own ARQ discovers the dead hop
                 # (ack timeout) — don't double-notify.
                 if not frame.is_ack and sender.radio.loss_rate == 0.0:
@@ -311,7 +341,7 @@ class Channel:
                 if cause is None:
                     surviving.append(receiver.node_id)
                 else:
-                    self.stats.count_drop(cause)
+                    stats.count_drop(cause)
         else:
             surviving = [receiver.node_id for receiver in receivers]
         if not surviving:
@@ -338,13 +368,17 @@ class Channel:
         sender_id: NodeId,
         sender_position: Point,
     ) -> None:
+        nodes = self._nodes
+        tracer = self.tracer
+        tracing = tracer.active
+        delivered = 0
         for receiver_id in receiver_ids:
-            receiver = self._nodes.get(receiver_id)
+            receiver = nodes.get(receiver_id)
             if receiver is None or not receiver.alive:
                 continue  # Died in flight.
-            self.stats.frames_delivered += 1
-            if self.tracer.active:
-                self.tracer.emit(
+            delivered += 1
+            if tracing:
+                tracer.emit(
                     "rx",
                     time=self.sim.now,
                     receiver=receiver_id,
@@ -352,6 +386,7 @@ class Channel:
                     frame=frame,
                 )
             receiver.handle_frame(frame, sender_id, sender_position)
+        self.stats.frames_delivered += delivered
 
     def __repr__(self) -> str:
         return (

@@ -59,6 +59,20 @@ class MacConfig:
 class Mac:
     """MAC instance owned by a single :class:`~repro.net.node.NetworkNode`."""
 
+    __slots__ = (
+        "node",
+        "channel",
+        "sim",
+        "config",
+        "_jitter_rng",
+        "_queue",
+        "_next_free",
+        "_scheduled",
+        "_pending_acks",
+        "_broadcast_jitter",
+        "_unicast_jitter",
+    )
+
     def __init__(
         self,
         node: "NetworkNode",
@@ -81,6 +95,9 @@ class Mac:
         self._pending_acks: typing.Dict[
             int, typing.Tuple[Frame, int, Event]
         ] = {}
+        # Hoisted config reads for the per-frame scheduling path.
+        self._broadcast_jitter = self.config.broadcast_jitter
+        self._unicast_jitter = self.config.unicast_jitter
 
     # ------------------------------------------------------------------
     # Transmit path
@@ -88,7 +105,8 @@ class Mac:
     def send(self, frame: Frame) -> None:
         """Queue *frame* for transmission (FIFO per node)."""
         self._queue.append(frame)
-        self._maybe_schedule()
+        if not self._scheduled:
+            self._maybe_schedule()
 
     def _maybe_schedule(self) -> None:
         if self._scheduled or not self._queue:
@@ -96,11 +114,13 @@ class Mac:
         self._scheduled = True
         frame = self._queue[0]
         jitter_max = (
-            self.config.broadcast_jitter
-            if frame.is_broadcast
-            else self.config.unicast_jitter
+            self._broadcast_jitter
+            if frame.link_destination == BROADCAST
+            else self._unicast_jitter
         )
-        wait_for_radio = max(0.0, self._next_free - self.sim.now)
+        wait_for_radio = self._next_free - self.sim.now
+        if wait_for_radio < 0.0:
+            wait_for_radio = 0.0
         delay = wait_for_radio + self._jitter_rng.uniform(0.0, jitter_max)
         self.sim.call_in(delay, self._transmit_next)
 

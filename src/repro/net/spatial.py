@@ -4,29 +4,85 @@ The channel must answer "which nodes lie within ``r`` metres of this
 sender?" for every transmission.  A uniform hash grid with cell size on
 the order of the largest radio range answers this in near-constant time
 for the paper's densities (one sensor per ~28 m × 28 m).
+
+Hot-path layout (see ``docs/PERFORMANCE.md``):
+
+* Cells store flattened ``(id, x, y, (id, position))`` entries in
+  id-sorted lists, so a range query walks contiguous tuples — no
+  attribute loads, no per-hit allocation — instead of chasing a
+  membership set through the positions dict.
+* The set of candidate cell offsets for a query radius is precomputed
+  once per radius (``_offsets_for``) — the paper uses exactly two radii
+  (63 m sensors, 250 m robots/manager), so the tables are tiny.
+* Every mutation bumps :attr:`epoch`; the channel keys its cached
+  receiver sets on it, and the grid keys its own query memo on it, so
+  caches invalidate exactly when the node population or a position
+  changes.
+* Repeated identical queries (static network phases re-issue the same
+  disk query every beacon round) are answered from an epoch-keyed memo
+  in one dict lookup plus a small list copy.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import typing
+
+from math import floor as _floor
 
 from repro.geometry.point import Point
 
 __all__ = ["SpatialGrid"]
 
+#: Cell bucket entry: ``(id, x, y, (id, position))``.  Coordinates are
+#: flattened for the range-query inner loop, and the trailing pair is
+#: the prebuilt result tuple so hits allocate nothing.
+_Entry = typing.Tuple[str, float, float, typing.Tuple[str, Point]]
+
+
+def _entry(item_id: str, position: Point) -> _Entry:
+    return (item_id, position.x, position.y, (item_id, position))
+
 
 class SpatialGrid:
     """Maps string ids to positions and supports disk range queries."""
+
+    __slots__ = (
+        "cell_size",
+        "epoch",
+        "_cells",
+        "_positions",
+        "_offsets",
+        "_memo",
+        "_memo_epoch",
+    )
 
     def __init__(self, cell_size: float = 250.0) -> None:
         if cell_size <= 0:
             raise ValueError(f"non-positive cell size: {cell_size}")
         self.cell_size = cell_size
-        self._cells: typing.Dict[
-            typing.Tuple[int, int], typing.Set[str]
-        ] = {}
+        #: Monotonic mutation counter: bumped by every insert / move /
+        #: remove.  Consumers (``Channel``) cache derived data keyed on
+        #: it; equal epochs guarantee an identical grid state.
+        self.epoch = 0
+        self._cells: typing.Dict[typing.Tuple[int, int], typing.List[_Entry]] = {}
         self._positions: typing.Dict[str, Point] = {}
+        #: radius -> candidate cell offsets ``(dx, dy)`` relative to the
+        #: query's cell, pruned to offsets whose cells can intersect the
+        #: disk for *some* center within the home cell.
+        self._offsets: typing.Dict[
+            float, typing.Tuple[typing.Tuple[int, int], ...]
+        ] = {}
+        #: ``(x, y, radius) -> within() result``, valid only while
+        #: :attr:`epoch` equals ``_memo_epoch``.  Static phases (no node
+        #: joins, deaths, or moves) re-issue identical disk queries every
+        #: beacon/flood round; the memo answers those in one dict hit.
+        self._memo: typing.Dict[
+            typing.Tuple[float, float, float],
+            typing.List[typing.Tuple[str, Point]],
+        ] = {}
+        self._memo_epoch = 0
 
     def _cell_of(self, position: Point) -> typing.Tuple[int, int]:
         return (
@@ -43,7 +99,9 @@ class SpatialGrid:
             self.move(item_id, position)
             return
         self._positions[item_id] = position
-        self._cells.setdefault(self._cell_of(position), set()).add(item_id)
+        bucket = self._cells.setdefault(self._cell_of(position), [])
+        bisect.insort(bucket, _entry(item_id, position))
+        self.epoch += 1
 
     def move(self, item_id: str, position: Point) -> None:
         """Update the position of *item_id* (KeyError if absent)."""
@@ -51,20 +109,33 @@ class SpatialGrid:
         old_cell = self._cell_of(old)
         new_cell = self._cell_of(position)
         self._positions[item_id] = position
-        if old_cell != new_cell:
-            members = self._cells[old_cell]
-            members.discard(item_id)
-            if not members:
-                del self._cells[old_cell]
-            self._cells.setdefault(new_cell, set()).add(item_id)
+        self.epoch += 1
+        if old_cell == new_cell:
+            bucket = self._cells[old_cell]
+            for index, entry in enumerate(bucket):
+                if entry[0] == item_id:
+                    bucket[index] = _entry(item_id, position)
+                    break
+            return
+        self._discard(old_cell, item_id)
+        bucket = self._cells.setdefault(new_cell, [])
+        bisect.insort(bucket, _entry(item_id, position))
 
     def remove(self, item_id: str) -> None:
         """Remove *item_id* (KeyError if absent)."""
         position = self._positions.pop(item_id)
-        cell = self._cell_of(position)
-        members = self._cells[cell]
-        members.discard(item_id)
-        if not members:
+        self._discard(self._cell_of(position), item_id)
+        self.epoch += 1
+
+    def _discard(
+        self, cell: typing.Tuple[int, int], item_id: str
+    ) -> None:
+        bucket = self._cells[cell]
+        for index, entry in enumerate(bucket):
+            if entry[0] == item_id:
+                del bucket[index]
+                break
+        if not bucket:
             del self._cells[cell]
 
     # ------------------------------------------------------------------
@@ -80,6 +151,34 @@ class SpatialGrid:
         """Current position of *item_id* (KeyError if absent)."""
         return self._positions[item_id]
 
+    def _offsets_for(
+        self, radius: float
+    ) -> typing.Tuple[typing.Tuple[int, int], ...]:
+        """Candidate cell offsets covering a disk of *radius*.
+
+        For a query centered anywhere in its home cell, the reachable
+        cells lie within ``floor(r/cell) + 1`` in each axis; offsets
+        whose nearest possible corner is still outside the disk are
+        pruned up front.  The table is a superset of the exact per-query
+        range, so query results are unaffected (each candidate is still
+        distance-checked).
+        """
+        table = self._offsets.get(radius)
+        if table is None:
+            size = self.cell_size
+            span = int(radius / size) + 1
+            r2 = radius * radius
+            offsets = []
+            for dx in range(-span, span + 1):
+                min_x = max(0, abs(dx) - 1) * size
+                for dy in range(-span, span + 1):
+                    min_y = max(0, abs(dy) - 1) * size
+                    if min_x * min_x + min_y * min_y <= r2:
+                        offsets.append((dx, dy))
+            table = tuple(offsets)
+            self._offsets[radius] = table
+        return table
+
     def within(
         self, center: Point, radius: float
     ) -> typing.List[typing.Tuple[str, Point]]:
@@ -90,23 +189,56 @@ class SpatialGrid:
         """
         if radius < 0:
             return []
+        memo = self._memo
+        if self._memo_epoch != self.epoch:
+            memo.clear()
+            self._memo_epoch = self.epoch
+        key = (center.x, center.y, radius)
+        cached = memo.get(key)
+        if cached is not None:
+            # Copy so callers may mutate their result freely.
+            return cached.copy()
+        size = self.cell_size
         r2 = radius * radius
-        min_cx = math.floor((center.x - radius) / self.cell_size)
-        max_cx = math.floor((center.x + radius) / self.cell_size)
-        min_cy = math.floor((center.y - radius) / self.cell_size)
-        max_cy = math.floor((center.y + radius) / self.cell_size)
+        x = center.x
+        y = center.y
+        cx = _floor(x / size)
+        cy = _floor(y / size)
+        # Offsets of the query point inside its home cell; used to prune
+        # candidate cells by their exact minimum distance to the center
+        # (the offset table is only a worst-case-over-the-cell superset).
+        fx = x - cx * size
+        fy = y - cy * size
+        get = self._cells.get
         found: typing.List[typing.Tuple[str, Point]] = []
-        for cx in range(min_cx, max_cx + 1):
-            for cy in range(min_cy, max_cy + 1):
-                members = self._cells.get((cx, cy))
-                if not members:
-                    continue
-                for item_id in members:
-                    position = self._positions[item_id]
-                    if center.squared_distance_to(position) <= r2:
-                        found.append((item_id, position))
-        found.sort(key=lambda pair: pair[0])
-        return found
+        append = found.append
+        for dx, dy in self._offsets_for(radius):
+            if dx > 0:
+                mx = dx * size - fx
+            elif dx:
+                mx = fx - (dx + 1) * size
+            else:
+                mx = 0.0
+            if dy > 0:
+                my = dy * size - fy
+            elif dy:
+                my = fy - (dy + 1) * size
+            else:
+                my = 0.0
+            if mx * mx + my * my > r2:
+                continue
+            bucket = get((cx + dx, cy + dy))
+            if bucket:
+                for _item_id, px, py, pair in bucket:
+                    qx = px - x
+                    qy = py - y
+                    if qx * qx + qy * qy <= r2:
+                        append(pair)
+        found.sort()
+        if len(memo) >= 4096:  # bound memory on pathological query mixes
+            memo.clear()
+        memo[key] = found
+        return found.copy()
 
     def nearest(
         self, center: Point, exclude: typing.Container[str] = ()
@@ -166,7 +298,7 @@ class SpatialGrid:
         for cell in cells:
             bucket = self._cells.get(cell)
             if bucket:
-                members.extend(bucket)
+                members.extend(entry[0] for entry in bucket)
         members.sort()
         return members
 

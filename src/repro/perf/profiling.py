@@ -1,0 +1,42 @@
+"""cProfile plumbing for the CLI's ``--profile`` flag.
+
+Profiles a zero-argument callable and prints the top functions by
+cumulative time to stderr, keeping stdout clean for the command's
+normal output (tables, figures) so pipelines keep working.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import typing
+
+__all__ = ["profile_call"]
+
+T = typing.TypeVar("T")
+
+
+def profile_call(
+    fn: typing.Callable[[], T],
+    top: int = 25,
+    stream: typing.Optional[typing.TextIO] = None,
+) -> T:
+    """Run *fn* under cProfile; print the *top* cumulative entries.
+
+    Returns *fn*'s return value unchanged, so callers can wrap a CLI
+    handler and pass its exit code through.
+    """
+    if stream is None:
+        stream = sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative")
+        print(f"\n--- profile: top {top} by cumulative time ---", file=stream)
+        stats.print_stats(top)
+    return result

@@ -22,9 +22,12 @@ from __future__ import annotations
 import heapq
 import typing
 
+from heapq import heappop as _heappop, heappush as _heappush
+
 from repro.sim.events import (
     AllOf,
     AnyOf,
+    Callback,
     Event,
     SimulationError,
     Timeout,
@@ -155,12 +158,29 @@ class Simulator:
     ) -> Event:
         """Schedule *callback* (no arguments) to run after *delay* seconds.
 
-        Returns the underlying timeout event, whose callbacks may be used
-        to cancel via :meth:`cancel`.
+        This is the kernel's fast path: plain callbacks account for most
+        of the event volume (MAC wakeups, channel deliveries, timers), so
+        they skip the full ``Timeout`` + ``add_callback`` machinery and
+        go onto the heap as a lightweight :class:`Callback` event.  The
+        returned event is cancellable via :meth:`cancel` and yieldable
+        from processes, exactly like a Timeout.
         """
-        timeout = self.timeout(delay)
-        timeout.add_callback(lambda _event: callback())
-        return timeout
+        if delay < 0:
+            raise ValueError(f"negative callback delay: {delay!r}")
+        # Inlined Callback construction: __new__ + direct slot stores
+        # skip the __init__ call frame on the kernel's hottest path.
+        event = Callback.__new__(Callback)
+        event.sim = self
+        event.callbacks = []
+        event._value = None
+        event._ok = True
+        event._fn = callback
+        time = self._now + delay
+        event._scheduled_at = time
+        seq = self._seq + 1
+        self._seq = seq
+        _heappush(self._queue, (time, PRIORITY_NORMAL, seq, event))
+        return event
 
     @staticmethod
     def cancel(event: Event) -> None:
@@ -252,11 +272,40 @@ class Simulator:
                 (horizon, PRIORITY_URGENT, self._seq, stop_event),
             )
 
+        # Inlined main loop (identical semantics to repeated step()):
+        # local bindings and the hand-inlined Callback fast path shave
+        # several hundred nanoseconds per event, which matters at
+        # millions of events per run.
+        queue = self._queue
+        pop = _heappop
+        fast_type = Callback
+        processed = 0
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                entry = pop(queue)
+                event = entry[3]
+                if type(event) is fast_type:
+                    # Inlined Callback._process (the common case).
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        continue  # cancelled
+                    event.callbacks = None
+                    self._now = entry[0]
+                    processed += 1
+                    event._fn()
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    continue
+                if event.callbacks is None:
+                    continue  # cancelled
+                self._now = entry[0]
+                processed += 1
+                event._process()
         except StopSimulation:
             pass
+        finally:
+            self._processed_events += processed
 
         if isinstance(until, Event):
             if not until.processed:

@@ -22,6 +22,7 @@ __all__ = [
     "PENDING",
     "Event",
     "Timeout",
+    "Callback",
     "Condition",
     "AllOf",
     "AnyOf",
@@ -226,6 +227,52 @@ class Timeout(Event):
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class Callback(Event):
+    """The fast path behind :meth:`Simulator.call_in`.
+
+    A plain-callback timer needs none of the Event machinery on the
+    common path: no lambda closure, no callback-list walk, no trigger
+    bookkeeping.  It is born triggered (like :class:`Timeout`), stores
+    the bare callable in a slot, and invokes it directly when processed.
+    ``add_callback`` and :meth:`Simulator.cancel` still work exactly as
+    they do for a Timeout, so it remains yieldable and cancellable.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(
+        self, sim: "Simulator", fn: typing.Callable[[], None]
+    ) -> None:
+        # Inlined Event.__init__ + Timeout trigger state: this runs once
+        # per scheduled callback, which is most of the event volume.
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._scheduled_at = None
+        self._fn = fn
+
+    def succeed(self, value: typing.Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Callback events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Callback events trigger themselves")
+
+    def _process(self) -> None:
+        callbacks = self.callbacks
+        if callbacks is None:
+            raise SimulationError(f"{self!r} has already been processed")
+        self.callbacks = None
+        self._fn()
+        # Callbacks attached after scheduling (rare) run afterwards, in
+        # the same order the old Timeout-based path ran them.
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        return f"<Callback {self._fn!r} at {id(self):#x}>"
 
 
 class Condition(Event):

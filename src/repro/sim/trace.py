@@ -19,7 +19,7 @@ import typing
 __all__ = ["TraceRecord", "Tracer", "RecordingSink"]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace record: a category, a timestamp, and free-form fields."""
 
@@ -41,20 +41,32 @@ class Tracer:
     """Dispatches trace records to subscribed sinks.
 
     Sinks subscribed to the pseudo-category ``"*"`` receive every record.
+
+    :attr:`active` is a plain attribute maintained by ``subscribe`` /
+    ``unsubscribe`` rather than a property: hot paths check it before
+    building every record's keyword dict, so it must cost one attribute
+    load, not a scan over the sink table.
     """
+
+    __slots__ = ("_sinks", "active")
 
     def __init__(self) -> None:
         self._sinks: typing.Dict[str, typing.List[TraceSink]] = {}
+        #: True if at least one sink is subscribed.  Guard `emit` calls
+        #: with this so no field dicts are built when tracing is off.
+        self.active = False
 
     def subscribe(self, category: str, sink: TraceSink) -> None:
         """Register *sink* for *category* (or ``"*"`` for all records)."""
         self._sinks.setdefault(category, []).append(sink)
+        self.active = True
 
     def unsubscribe(self, category: str, sink: TraceSink) -> None:
         """Remove a previously registered sink (no-op if absent)."""
         sinks = self._sinks.get(category)
         if sinks and sink in sinks:
             sinks.remove(sink)
+        self.active = any(self._sinks.values())
 
     def emit(self, category: str, time: float, **fields: typing.Any) -> None:
         """Emit a record; drops it cheaply when nobody listens."""
@@ -67,11 +79,6 @@ class Tracer:
             sink(record)
         for sink in wildcard or ():
             sink(record)
-
-    @property
-    def active(self) -> bool:
-        """True if at least one sink is subscribed."""
-        return any(self._sinks.values())
 
 
 class RecordingSink:

@@ -5,3 +5,14 @@ def reschedule(sim, pending, nodes):
     sim.call_in(1.0, set(pending))
     for node_id in pending.keys() | set(nodes):
         sim.broadcast(node_id)
+
+
+def deliver_cached(channel, cached_receivers):
+    # Cached receiver sets lose delivery order: iterating one into the
+    # channel leaks set iteration order into the event schedule.
+    for receiver in set(cached_receivers):
+        channel.transmit(receiver)
+
+
+def flush_receiver_cache(sim, receiver_cache):
+    sim.call_in(0.0, receiver_cache.keys())

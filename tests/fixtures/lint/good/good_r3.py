@@ -5,3 +5,14 @@ def reschedule(sim, pending, nodes):
     sim.call_in(1.0, sorted(pending))
     for node_id in sorted(set(nodes)):
         sim.broadcast(node_id)
+
+
+def deliver_cached(channel, cached_receivers):
+    # Cached receiver lists are id-sorted when built (the grid's query
+    # contract), so iterating the cached list replays deterministically.
+    for receiver in list(cached_receivers):
+        channel.transmit(receiver)
+
+
+def flush_receiver_cache(sim, receiver_cache):
+    sim.call_in(0.0, sorted(receiver_cache.keys()))

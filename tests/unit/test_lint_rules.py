@@ -167,6 +167,45 @@ def test_r3_sees_through_list_of_set():
     assert ids(violations) == ["R3"]
 
 
+def test_r3_flags_cached_receiver_set_iteration():
+    """The receiver-cache shape: a cached *set* iterated into a sink."""
+    violations = check(
+        """
+        def deliver(channel, cache, sender):
+            receivers = cache.get(sender)
+            for receiver in set(receivers):
+                channel.transmit(receiver)
+        """
+    )
+    assert ids(violations) == ["R3"]
+
+
+def test_r3_accepts_cached_receiver_list_iteration():
+    """Cached receiver *lists* preserve build order and are clean."""
+    assert (
+        check(
+            """
+            def deliver(channel, cache, sender, epoch):
+                cached = cache.get(sender)
+                if cached is not None and cached[0] == epoch:
+                    for receiver in cached[1]:
+                        channel.transmit(receiver)
+            """
+        )
+        == []
+    )
+
+
+def test_r3_flags_cache_keys_passed_to_scheduler():
+    violations = check(
+        """
+        def flush(sim, receiver_cache):
+            sim.call_in(0.0, receiver_cache.keys())
+        """
+    )
+    assert ids(violations) == ["R3"]
+
+
 def test_r3_ignores_sorted_and_non_sink_calls():
     assert (
         check(

@@ -1,0 +1,126 @@
+"""Audit: every hot-path ``tracer.emit`` call must be guarded.
+
+``Tracer.emit`` is cheap when nobody listens, but the *call site* still
+pays for building the keyword dict (and any f-strings in it) before
+``emit`` can drop the record.  The convention, documented in
+``docs/PERFORMANCE.md``, is that every emit call in ``src/repro`` sits
+under an ``if <tracer>.active:`` guard — either directly or via a local
+flag hoisted from ``.active`` (``tracing = tracer.active``).
+
+This test walks the package's AST and fails with a file:line list when
+a new emit call ships unguarded, so the invariant survives refactors.
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def _guard_names(tree: ast.AST) -> set:
+    """Names assigned from an ``.active`` read anywhere in the module.
+
+    Covers the hoisted-guard idiom::
+
+        tracing = tracer.active
+        ...
+        if tracing:
+            tracer.emit(...)
+    """
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and ".active" in ast.unparse(
+            node.value
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_guarded(path: list, guard_names: set) -> bool:
+    """True if any enclosing ``if`` tests ``.active`` or a hoisted flag."""
+    for ancestor in path:
+        if not isinstance(ancestor, ast.If):
+            continue
+        test = ancestor.test
+        if ".active" in ast.unparse(test):
+            return True
+        if isinstance(test, ast.Name) and test.id in guard_names:
+            return True
+    return False
+
+
+def _emit_sites(tree: ast.AST):
+    """Yield ``(call_node, ancestry)`` for every ``<tracer>.emit(...)``."""
+    stack = []
+
+    def visit(node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and "tracer" in ast.unparse(node.func.value).lower()
+        ):
+            yield node, list(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(tree)
+
+
+def test_every_tracer_emit_is_guarded():
+    offenders = []
+    audited = 0
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        guard_names = _guard_names(tree)
+        for call, ancestry in _emit_sites(tree):
+            audited += 1
+            # The guard may also live in the enclosing helper (e.g. a
+            # module-private ``_trace`` wrapper whose body is the guard);
+            # ancestry covers that case because the If is an ancestor.
+            if not _is_guarded(ancestry, guard_names):
+                offenders.append(
+                    f"{path.relative_to(SRC_ROOT.parent)}:{call.lineno}"
+                )
+    assert audited >= 20, "audit went blind — emit sites not found"
+    assert not offenders, (
+        "tracer.emit called without a tracer.active guard "
+        f"(see docs/PERFORMANCE.md): {offenders}"
+    )
+
+
+def test_audit_detects_unguarded_emit():
+    """The auditor itself must flag a naked emit (no false negatives)."""
+    tree = ast.parse(
+        "def f(self):\n"
+        "    self.tracer.emit('x', time=0.0, detail=self.describe())\n"
+    )
+    sites = list(_emit_sites(tree))
+    assert len(sites) == 1
+    call, ancestry = sites[0]
+    assert not _is_guarded(ancestry, _guard_names(tree))
+
+
+def test_audit_accepts_both_guard_idioms():
+    direct = ast.parse(
+        "def f(self):\n"
+        "    if self.tracer.active:\n"
+        "        self.tracer.emit('x', time=0.0)\n"
+    )
+    hoisted = ast.parse(
+        "def f(self):\n"
+        "    tracer = self.tracer\n"
+        "    tracing = tracer.active\n"
+        "    for item in self.items:\n"
+        "        if tracing:\n"
+        "            tracer.emit('x', time=0.0)\n"
+    )
+    for tree in (direct, hoisted):
+        ((call, ancestry),) = _emit_sites(tree)
+        assert _is_guarded(ancestry, _guard_names(tree))
