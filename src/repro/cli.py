@@ -269,9 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the per-file pass (default: 1)",
+    )
+    lint.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the cross-module pass (R6/R8/R9)",
     )
     lint.add_argument(
         "--list-rules",
@@ -828,7 +840,9 @@ def _command_store(args: argparse.Namespace) -> int:
 def _command_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
-    argv = [*args.paths, "--format", args.format]
+    argv = [*args.paths, "--format", args.format, "--jobs", str(args.jobs)]
+    if args.no_project:
+        argv.append("--no-project")
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)

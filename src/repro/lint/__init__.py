@@ -4,9 +4,13 @@ The reproduction's claims (Figures 2–4 replaying identically from a
 seed) rest on a contract the type system cannot see: randomness flows
 only through :class:`repro.sim.rng.RandomStreams`, nothing reads the
 wall clock, and iteration order never leaks into the event schedule.
-This package enforces that contract statically with five rules
-(R1–R5); see ``docs/LINTING.md`` for the catalogue and the
-``# simlint: disable=<rule>`` suppression syntax.
+This package enforces that contract statically in two tiers: the
+file-scoped rules R1–R5 (plus R7 trace guards and R10 unit suffixes)
+walk one AST at a time, while the project-scoped rules R6 (epoch-cache
+integrity), R8 (sim-race detector), and R9 (serialization drift) run
+over a whole-tree :class:`~repro.lint.project.ProjectContext` with
+import and symbol tables.  See ``docs/LINTING.md`` for the catalogue
+and the ``# simlint: disable=<rule>`` suppression syntax.
 
 Programmatic use::
 
@@ -25,27 +29,41 @@ from repro.lint.engine import (
     lint_paths,
     lint_source,
 )
+from repro.lint.project import (
+    ModuleInfo,
+    ProjectContext,
+    build_project,
+    module_name_for_path,
+)
 from repro.lint.registry import (
     FileContext,
+    ProjectRule,
     Rule,
     Violation,
     all_rules,
+    file_rules,
     get_rule,
+    project_rules,
     register,
     rule_ids,
 )
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.cli import main
 
 __all__ = [
     "DEFAULT_CONFIG",
     "FileContext",
     "LintConfig",
+    "ModuleInfo",
     "PARSE_ERROR_ID",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Suppressions",
     "Violation",
     "all_rules",
+    "build_project",
+    "file_rules",
     "get_rule",
     "iter_python_files",
     "lint_file",
@@ -53,8 +71,11 @@ __all__ = [
     "lint_source",
     "load_config",
     "main",
+    "module_name_for_path",
+    "project_rules",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
 ]

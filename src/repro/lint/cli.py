@@ -33,8 +33,11 @@ def build_parser() -> argparse.ArgumentParser:
             "randomness flows through RandomStreams (R1), nothing reads "
             "the wall clock (R2), unordered collections stay out of "
             "scheduling paths (R3), simulation times are never compared "
-            "exactly (R4), and mutable defaults / bare except are "
-            "absent (R5)."
+            "exactly (R4), mutable defaults / bare except are absent "
+            "(R5) — plus whole-program passes for epoch-cache integrity "
+            "(R6), trace guards (R7), sim-races on shared state (R8), "
+            "serialization drift (R9), and unit-suffix consistency "
+            "(R10)."
         ),
     )
     parser.add_argument(
@@ -61,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "pyproject.toml to read [tool.simlint] from (default: "
             "./pyproject.toml when present)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker threads for the per-file pass (default: 1; the "
+            "report is identical at any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help=(
+            "skip the cross-module pass (R6/R8/R9); useful when "
+            "linting a fragment outside its tree"
         ),
     )
     parser.add_argument(
@@ -115,7 +136,16 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         )
         return 2
 
-    violations, files_checked = lint_paths(args.paths, config=config)
+    if args.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    violations, files_checked = lint_paths(
+        args.paths,
+        config=config,
+        jobs=args.jobs,
+        project_scope=not args.no_project,
+    )
     print(REPORTERS[args.format](violations, files_checked))
     return 1 if violations else 0
 

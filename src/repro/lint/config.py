@@ -75,6 +75,51 @@ DEFAULT_WALL_CLOCK_CALLS = frozenset(
 DEFAULT_TIME_EXACT_NAMES = frozenset({"now", "deadline", "timestamp"})
 DEFAULT_TIME_SUFFIXES = ("_time", "_time_s", "_at")
 
+#: Epoch-guarded classes for R6.  For each class name: the epoch
+#: attribute, the fields whose mutation must bump it, and the cache
+#: fields whose *population* must consult it (deleting/clearing a cache
+#: entry is always safe).  The fields listed here are also ownership-
+#: checked project-wide: no module other than the class's defining
+#: module may reach into them through a non-``self`` receiver.
+DEFAULT_EPOCH_SPECS: typing.Mapping[
+    str, typing.Mapping[str, typing.Tuple[str, ...]]
+] = {
+    "SpatialGrid": {
+        "epoch": ("epoch",),
+        "mutated": ("_cells", "_positions"),
+        "caches": ("_memo",),
+    },
+    "Channel": {
+        "epoch": ("epoch",),
+        "mutated": (),
+        "caches": ("_receiver_cache",),
+    },
+}
+
+#: Calls whose results are shared, epoch-keyed cache entries (R6): the
+#: returned list must be treated as read-only, so mutating it in place
+#: (``.append``/``.sort``/...) corrupts every later cache hit.
+DEFAULT_SHARED_RESULT_CALLS = frozenset({"receivers_of"})
+
+#: Scheduling sinks that accept a callback/process, and the positional
+#: slot it occupies — the seeds of R8's reachability walk.
+DEFAULT_SCHEDULE_CALLBACK_SLOTS: typing.Mapping[str, int] = {
+    "call_in": 1,
+    "call_at": 1,
+    "process": 0,
+}
+
+#: Unit suffix vocabulary for R10.  Longest suffix wins, so
+#: ``area_per_robot_m2`` reads as square metres, not metres.
+DEFAULT_UNIT_SUFFIXES: typing.Mapping[str, str] = {
+    "_s": "s",
+    "_m": "m",
+    "_mps": "m/s",
+    "_m2": "m2",
+    "_bits": "bit",
+    "_bps": "bit/s",
+}
+
 
 def path_matches(path: str, pattern: str) -> bool:
     """True if *pattern* fnmatch-es *path* or is a suffix of it."""
@@ -92,13 +137,34 @@ class LintConfig:
     #: rule id -> path patterns where the rule is off entirely.
     exemptions: typing.Mapping[str, typing.Tuple[str, ...]] = (
         dataclasses.field(
-            default_factory=lambda: {"R1": ("repro/sim/rng.py",)}
+            default_factory=lambda: {
+                "R1": ("repro/sim/rng.py",),
+                # The Tracer class itself (emit's definition and the
+                # sink dispatch) is the one place R7 must not fire.
+                "R7": ("repro/sim/trace.py",),
+            }
         )
     )
     sink_names: typing.FrozenSet[str] = DEFAULT_SINK_NAMES
     wall_clock_calls: typing.FrozenSet[str] = DEFAULT_WALL_CLOCK_CALLS
     time_exact_names: typing.FrozenSet[str] = DEFAULT_TIME_EXACT_NAMES
     time_suffixes: typing.Tuple[str, ...] = DEFAULT_TIME_SUFFIXES
+    epoch_specs: typing.Mapping[
+        str, typing.Mapping[str, typing.Tuple[str, ...]]
+    ] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_EPOCH_SPECS)
+    )
+    shared_result_calls: typing.FrozenSet[str] = (
+        DEFAULT_SHARED_RESULT_CALLS
+    )
+    schedule_callback_slots: typing.Mapping[str, int] = (
+        dataclasses.field(
+            default_factory=lambda: dict(DEFAULT_SCHEDULE_CALLBACK_SLOTS)
+        )
+    )
+    unit_suffixes: typing.Mapping[str, str] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_UNIT_SUFFIXES)
+    )
 
     def rule_enabled(self, rule_id: str) -> bool:
         return self.select is None or rule_id in self.select

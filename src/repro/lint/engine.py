@@ -1,5 +1,14 @@
 """The lint engine: parse, run rules, honour suppressions.
 
+Two tiers run over the linted tree:
+
+1. the **file pass** — R1–R5, R7, R10 — walks each file's AST in
+   isolation (parallelisable with ``jobs=N``; results are sorted at the
+   end, so the report is identical at any worker count);
+2. the **project pass** — R6, R8, R9 — runs once over a
+   :class:`~repro.lint.project.ProjectContext` assembled from every
+   successfully-parsed file, and may reason across module boundaries.
+
 Suppression syntax (documented in ``docs/LINTING.md``)::
 
     risky_call()            # simlint: disable=R3
@@ -9,20 +18,35 @@ Suppression syntax (documented in ``docs/LINTING.md``)::
 ``disable-file=...`` silences them for the whole file.  ``disable=all``
 is accepted in both forms.  Comments are located with :mod:`tokenize`,
 so a ``# simlint:`` inside a string literal never suppresses anything.
+Suppressions apply to project-scope findings exactly like file-scope
+ones: the comment lives in the file the violation points at.
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import io
 import os
 import re
 import tokenize
 import typing
 
+from repro.lint import invariants as _invariants  # noqa: F401 - R6-R10
 from repro.lint import rules as _rules  # noqa: F401 - registers R1-R5
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
-from repro.lint.registry import FileContext, Violation, all_rules
+from repro.lint.project import (
+    ModuleInfo,
+    build_project,
+    module_name_for_path,
+)
+from repro.lint.registry import (
+    FileContext,
+    Violation,
+    file_rules,
+    project_rules,
+)
+from repro.lint.rules import ImportTable
 
 __all__ = [
     "PARSE_ERROR_ID",
@@ -83,17 +107,17 @@ class Suppressions:
         return bool(listed) and ("ALL" in listed or rule_id in listed)
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    config: LintConfig = DEFAULT_CONFIG,
-) -> typing.List[Violation]:
-    """Lint one unit of Python *source*, reported under *path*."""
+def _parse_module(
+    source: str, path: str
+) -> typing.Tuple[
+    typing.Optional[ModuleInfo], typing.List[Violation]
+]:
+    """Parse *source* into a :class:`ModuleInfo`, or an ``E0`` finding."""
     display_path = path.replace(os.sep, "/")
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
+        return None, [
             Violation(
                 path=display_path,
                 line=error.lineno or 1,
@@ -102,23 +126,85 @@ def lint_source(
                 message=f"syntax error: {error.msg}",
             )
         ]
-    suppressions = Suppressions(source)
-    context = FileContext(
+    module_name, is_package = module_name_for_path(display_path)
+    module = ModuleInfo(
         path=display_path,
+        name=module_name,
+        is_package=is_package,
         tree=tree,
         lines=source.splitlines(),
+        imports=ImportTable(tree, module_name, is_package),
+        suppressions=Suppressions(source),
+    )
+    return module, []
+
+
+def _file_pass(
+    module: ModuleInfo, config: LintConfig
+) -> typing.List[Violation]:
+    """Run every enabled file-scoped rule over one parsed module."""
+    context = FileContext(
+        path=module.path,
+        tree=module.tree,
+        lines=module.lines,
         config=config,
+        module_name=module.name or None,
+        is_package=module.is_package,
     )
     findings: typing.List[Violation] = []
-    for rule in all_rules():
+    for rule in file_rules():
         if not config.rule_enabled(rule.rule_id):
             continue
-        if config.is_exempt(display_path, rule.rule_id):
+        if config.is_exempt(module.path, rule.rule_id):
             continue
         for violation in rule.check(context):
-            if suppressions.active(violation.rule_id, violation.line):
+            if module.suppressions.active(
+                violation.rule_id, violation.line
+            ):
                 continue
             findings.append(violation)
+    return findings
+
+
+def _project_pass(
+    modules: typing.Sequence[ModuleInfo], config: LintConfig
+) -> typing.List[Violation]:
+    """Run every enabled project-scoped rule over the whole tree."""
+    if not modules:
+        return []
+    project = build_project(modules, config)
+    findings: typing.List[Violation] = []
+    for rule in project_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        for violation in rule.check_project(project):
+            if config.is_exempt(violation.path, rule.rule_id):
+                continue
+            owner = project.by_path.get(violation.path)
+            if owner is not None and owner.suppressions.active(
+                violation.rule_id, violation.line
+            ):
+                continue
+            findings.append(violation)
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig = DEFAULT_CONFIG,
+) -> typing.List[Violation]:
+    """Lint one unit of Python *source*, reported under *path*.
+
+    Runs the file pass plus the project pass over a single-module
+    project, so every rule R1–R10 is exercised; cross-module facts
+    (ownership, reachability seeded elsewhere) are naturally absent.
+    """
+    module, errors = _parse_module(source, path)
+    if module is None:
+        return errors
+    findings = _file_pass(module, config)
+    findings.extend(_project_pass([module], config))
     return sorted(findings)
 
 
@@ -154,17 +240,59 @@ def iter_python_files(
                     yield os.path.join(root, name)
 
 
+def _load_and_lint(
+    file_path: str, config: LintConfig
+) -> typing.Tuple[typing.Optional[ModuleInfo], typing.List[Violation]]:
+    with open(file_path, "r", encoding="utf-8", errors="replace") as handle:
+        source = handle.read()
+    module, errors = _parse_module(source, file_path)
+    if module is None:
+        return None, errors
+    return module, _file_pass(module, config)
+
+
 def lint_paths(
     paths: typing.Iterable[str],
     config: LintConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
+    project_scope: bool = True,
 ) -> typing.Tuple[typing.List[Violation], int]:
     """Lint every Python file under *paths*.
 
+    ``jobs > 1`` fans the file pass out over a thread pool (the work is
+    AST-bound, but parsing releases chunks of time and the pool also
+    overlaps file IO); the final report is sorted, so it is identical
+    at any worker count.  ``project_scope=False`` skips the
+    cross-module pass (R6/R8/R9) — useful when linting a fragment that
+    deliberately lacks its neighbours.
+
     Returns ``(violations, files_checked)``.
     """
+    file_list = list(iter_python_files(paths))
+    results: typing.List[
+        typing.Tuple[typing.Optional[ModuleInfo], typing.List[Violation]]
+    ]
+    if jobs > 1 and len(file_list) > 1:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=jobs
+        ) as pool:
+            results = list(
+                pool.map(
+                    lambda file_path: _load_and_lint(file_path, config),
+                    file_list,
+                )
+            )
+    else:
+        results = [
+            _load_and_lint(file_path, config) for file_path in file_list
+        ]
+
     findings: typing.List[Violation] = []
-    checked = 0
-    for file_path in iter_python_files(paths):
-        checked += 1
-        findings.extend(lint_file(file_path, config=config))
-    return sorted(findings), checked
+    modules: typing.List[ModuleInfo] = []
+    for module, file_findings in results:
+        findings.extend(file_findings)
+        if module is not None:
+            modules.append(module)
+    if project_scope:
+        findings.extend(_project_pass(modules, config))
+    return sorted(findings), len(file_list)

@@ -1,11 +1,18 @@
 """Rule model and registry for the determinism linter.
 
-A rule is a class with a ``rule_id`` (``R1`` ... ``R5``), a short name,
+A rule is a class with a ``rule_id`` (``R1`` ... ``R10``), a short name,
 a prose description of the determinism contract it protects, and a
-``check`` method that walks one file's AST and yields
-:class:`Violation` records.  Rules self-register via :func:`register`
-so the engine, the CLI's ``--list-rules``, and the docs all see the
-same catalogue.
+``check`` method that yields :class:`Violation` records.  Rules
+self-register via :func:`register` so the engine, the CLI's
+``--list-rules``, and the docs all see the same catalogue.
+
+Two scopes exist:
+
+* **file** rules (:class:`Rule`) walk one file's AST in isolation;
+* **project** rules (:class:`ProjectRule`) receive a
+  :class:`repro.lint.project.ProjectContext` — every module under the
+  linted paths, with import tables and symbol tables — and may reason
+  across module boundaries (ownership, reachability, schema drift).
 """
 
 from __future__ import annotations
@@ -16,10 +23,13 @@ import typing
 
 __all__ = [
     "FileContext",
+    "ProjectRule",
     "Rule",
     "Violation",
     "all_rules",
+    "file_rules",
     "get_rule",
+    "project_rules",
     "register",
     "rule_ids",
 ]
@@ -55,14 +65,22 @@ class FileContext:
     tree: ast.AST
     lines: typing.Sequence[str]
     config: typing.Any  # repro.lint.config.LintConfig (no import cycle)
+    #: Dotted module name (``repro.net.channel``) when derivable from
+    #: the path; lets rules resolve relative imports.
+    module_name: typing.Optional[str] = None
+    #: True when the file is a package ``__init__.py``.
+    is_package: bool = False
 
 
 class Rule:
-    """Base class for lint rules."""
+    """Base class for file-scoped lint rules."""
 
     rule_id: str = ""
     name: str = ""
     description: str = ""
+    #: ``"file"`` rules see one file at a time; ``"project"`` rules see
+    #: the whole linted tree (:class:`ProjectRule`).
+    scope: str = "file"
 
     def check(
         self, context: FileContext
@@ -75,6 +93,44 @@ class Rule:
         """Build a :class:`Violation` at *node*'s position."""
         return Violation(
             path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (cross-module) lint rules.
+
+    The engine calls :meth:`check_project` once per run with the
+    :class:`~repro.lint.project.ProjectContext` built over every linted
+    file; suppressions still apply per violation via the owning file's
+    ``# simlint:`` comments.
+    """
+
+    scope = "project"
+
+    def check(
+        self, context: FileContext
+    ) -> typing.Iterator[Violation]:
+        """Project rules do not run in the single-file pass."""
+        return iter(())
+
+    def check_project(
+        self, project: typing.Any
+    ) -> typing.Iterator[Violation]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def violation_at(
+        self,
+        path: str,
+        node: ast.AST,
+        message: str,
+    ) -> Violation:
+        """Build a :class:`Violation` at *node*'s position in *path*."""
+        return Violation(
+            path=path,
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0),
             rule_id=self.rule_id,
@@ -96,9 +152,29 @@ def register(rule_class: typing.Type[Rule]) -> typing.Type[Rule]:
     return rule_class
 
 
+def _rule_sort_key(rule_id: str) -> typing.Tuple[str, int, str]:
+    """Sort ``R2`` before ``R10``: split the id into prefix + number."""
+    digits = "".join(ch for ch in rule_id if ch.isdigit())
+    prefix = rule_id[: len(rule_id) - len(digits)] if digits else rule_id
+    return (prefix, int(digits) if digits else 0, rule_id)
+
+
 def all_rules() -> typing.List[Rule]:
-    """Every registered rule, ordered by rule id."""
-    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+    """Every registered rule, ordered by rule id (numerically aware)."""
+    return [
+        _REGISTRY[rule_id]
+        for rule_id in sorted(_REGISTRY, key=_rule_sort_key)
+    ]
+
+
+def file_rules() -> typing.List[Rule]:
+    """Registered file-scoped rules, ordered by rule id."""
+    return [rule for rule in all_rules() if rule.scope == "file"]
+
+
+def project_rules() -> typing.List[Rule]:
+    """Registered project-scoped rules, ordered by rule id."""
+    return [rule for rule in all_rules() if rule.scope == "project"]
 
 
 def get_rule(rule_id: str) -> Rule:
@@ -106,4 +182,4 @@ def get_rule(rule_id: str) -> Rule:
 
 
 def rule_ids() -> typing.List[str]:
-    return sorted(_REGISTRY)
+    return sorted(_REGISTRY, key=_rule_sort_key)

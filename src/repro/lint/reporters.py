@@ -1,9 +1,12 @@
-"""Render lint findings as text or JSON.
+"""Render lint findings as text, JSON, or SARIF.
 
 The text form is the grep-able contract promised by the CLI:
 ``file:line rule-id message``, one violation per line, followed by a
 one-line summary on stderr-friendly plain text.  The JSON form carries
-the same data plus the rule catalogue for tooling.
+the same data plus the rule catalogue for tooling.  The SARIF form is
+a minimal SARIF 2.1.0 log that CI code-scanning uploads understand —
+one run, one rule descriptor per registered rule, one result per
+violation.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ import typing
 
 from repro.lint.registry import Violation, all_rules
 
-__all__ = ["render_text", "render_json", "REPORTERS"]
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
 
 
 def render_text(
@@ -49,9 +52,70 @@ def render_json(
     return json.dumps(document, indent=2, sort_keys=True)
 
 
+def render_sarif(
+    violations: typing.Sequence[Violation], files_checked: int
+) -> str:
+    """A SARIF 2.1.0 log for CI code-scanning annotation.
+
+    *files_checked* has no SARIF slot; it rides along as a run
+    property so the number still appears in uploaded artifacts.
+    """
+    results = [
+        {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription": {
+                                    "text": rule.description
+                                },
+                            }
+                            for rule in all_rules()
+                        ],
+                    }
+                },
+                "results": results,
+                "properties": {"filesChecked": files_checked},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
 REPORTERS: typing.Dict[
     str, typing.Callable[[typing.Sequence[Violation], int], str]
 ] = {
     "text": render_text,
     "json": render_json,
+    "sarif": render_sarif,
 }

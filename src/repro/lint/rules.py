@@ -34,9 +34,20 @@ class ImportTable:
     ``import time as t`` binds ``t -> time``; ``from datetime import
     datetime as dt`` binds ``dt -> datetime.datetime``.  Used to resolve
     a call like ``dt.now()`` back to ``datetime.datetime.now``.
+
+    When the importing module's own dotted name is known (project
+    scope, or derived from the file path), relative imports resolve
+    too: inside ``repro.net.channel``, ``from .frames import Frame``
+    binds ``Frame -> repro.net.frames.Frame``.  Without a module name
+    relative imports are skipped, as before.
     """
 
-    def __init__(self, tree: ast.AST) -> None:
+    def __init__(
+        self,
+        tree: ast.AST,
+        module_name: typing.Optional[str] = None,
+        is_package: bool = False,
+    ) -> None:
         self.bindings: typing.Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -45,11 +56,39 @@ class ImportTable:
                     origin = alias.name if alias.asname else local
                     self.bindings[local] = origin
             elif isinstance(node, ast.ImportFrom):
-                if node.module is None or node.level:
-                    continue  # relative imports never hit the stdlib
+                base = node.module
+                if node.level:
+                    base = self._relative_base(
+                        node, module_name, is_package
+                    )
+                    if base is None:
+                        continue  # unknown package context
+                elif base is None:
+                    continue
                 for alias in node.names:
                     local = alias.asname or alias.name
-                    self.bindings[local] = f"{node.module}.{alias.name}"
+                    self.bindings[local] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _relative_base(
+        node: ast.ImportFrom,
+        module_name: typing.Optional[str],
+        is_package: bool,
+    ) -> typing.Optional[str]:
+        """Absolute package that ``from ...X import`` resolves against."""
+        if not module_name:
+            return None
+        parts = module_name.split(".")
+        if not is_package:
+            parts = parts[:-1]  # the containing package
+        ascend = node.level - 1
+        if ascend > len(parts):
+            return None  # beyond the top-level package
+        if ascend:
+            parts = parts[:-ascend]
+        if node.module:
+            parts = [*parts, node.module]
+        return ".".join(parts) if parts else None
 
     def resolve(self, node: ast.AST) -> typing.Optional[str]:
         """Dotted origin of a ``Name``/``Attribute`` chain, if imported."""
@@ -88,7 +127,9 @@ class NoDirectRandom(Rule):
     )
 
     def check(self, context: FileContext) -> typing.Iterator[Violation]:
-        imports = ImportTable(context.tree)
+        imports = ImportTable(
+            context.tree, context.module_name, context.is_package
+        )
         for node in ast.walk(context.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -133,7 +174,9 @@ class NoWallClock(Rule):
     def check(self, context: FileContext) -> typing.Iterator[Violation]:
         banned = context.config.wall_clock_calls
         banned_leaves = {name.rsplit(".", 1)[-1] for name in banned}
-        imports = ImportTable(context.tree)
+        imports = ImportTable(
+            context.tree, context.module_name, context.is_package
+        )
         for node in ast.walk(context.tree):
             if isinstance(node, ast.ImportFrom):
                 if node.module in ("time", "datetime") and not node.level:

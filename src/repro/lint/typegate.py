@@ -1,0 +1,266 @@
+"""``repro.lint.typegate`` — the ``mypy --strict`` ratchet.
+
+Runs ``mypy --strict`` over ``src/repro`` and compares the findings to
+a checked-in baseline, so the type debt can only shrink:
+
+* an error whose fingerprint (``path:code:message``) appears in the
+  baseline is *grandfathered* — reported as baseline, exit 0;
+* a baseline line ``path::*`` grandfathers every error in that file
+  (used to seed the baseline on an existing tree);
+* any error **not** in the baseline fails the gate (exit 1) — new code
+  and new files must type-check strictly.
+
+mypy is an optional tool: the runtime has zero third-party
+dependencies, and so does the simulator's test suite.  When mypy is
+not importable the gate **skips** with a notice (exit 0) unless
+``--require`` is given (exit 3) — CI installs mypy and passes
+``--require``; a bare checkout stays runnable.
+
+Usage::
+
+    python -m repro.lint.typegate                # gate against baseline
+    python -m repro.lint.typegate --require      # fail if mypy missing
+    python -m repro.lint.typegate --update-baseline   # rewrite baseline
+
+Exit codes: 0 gate passed (or skipped), 1 new type errors, 2 usage
+error, 3 mypy unavailable under ``--require``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import re
+import subprocess
+import sys
+import typing
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_PATHS",
+    "fingerprint",
+    "load_baseline",
+    "main",
+    "mypy_available",
+    "parse_mypy_output",
+    "run_gate",
+]
+
+DEFAULT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = os.path.join(
+    "tests", "baselines", "mypy_strict_baseline.txt"
+)
+
+#: ``path:line: error: message  [code]`` as mypy prints it.
+_ERROR_PATTERN = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+)(?::\d+)?:\s*error:\s*"
+    r"(?P<message>.*?)(?:\s+\[(?P<code>[a-z0-9-]+)\])?$"
+)
+
+
+def mypy_available() -> bool:
+    """True when ``python -m mypy`` can run in this interpreter."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def _normalize_path(path: str) -> str:
+    normalized = path.replace(os.sep, "/")
+    if normalized.startswith("./"):
+        normalized = normalized[2:]
+    if normalized.startswith("src/"):
+        normalized = normalized[len("src/"):]
+    return normalized
+
+
+def fingerprint(path: str, code: str, message: str) -> str:
+    """Stable identity of one mypy error, line-number free.
+
+    Line numbers churn with every edit; ``path:code:message`` survives
+    unrelated changes to the same file.
+    """
+    return f"{_normalize_path(path)}:{code}:{message.strip()}"
+
+
+def parse_mypy_output(
+    lines: typing.Iterable[str],
+) -> typing.List[typing.Tuple[str, str]]:
+    """``(fingerprint, rendered line)`` for each error in mypy output."""
+    findings: typing.List[typing.Tuple[str, str]] = []
+    for line in lines:
+        match = _ERROR_PATTERN.match(line.strip())
+        if not match:
+            continue
+        findings.append(
+            (
+                fingerprint(
+                    match.group("path"),
+                    match.group("code") or "misc",
+                    match.group("message"),
+                ),
+                line.strip(),
+            )
+        )
+    return findings
+
+
+def load_baseline(path: str) -> typing.Tuple[
+    typing.Set[str], typing.Set[str]
+]:
+    """``(exact fingerprints, wildcarded module paths)`` from *path*.
+
+    Missing baseline means an empty baseline: everything is new.
+    """
+    exact: typing.Set[str] = set()
+    wildcards: typing.Set[str] = set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if line.endswith("::*"):
+                    wildcards.add(line[: -len("::*")])
+                else:
+                    exact.add(line)
+    except OSError:
+        pass
+    return exact, wildcards
+
+
+def _run_mypy(
+    paths: typing.Sequence[str],
+) -> typing.Tuple[int, typing.List[str]]:
+    process = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--strict",
+            "--no-error-summary",
+            "--hide-error-context",
+            *paths,
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    output = process.stdout.splitlines() + process.stderr.splitlines()
+    return process.returncode, output
+
+
+def run_gate(
+    paths: typing.Sequence[str],
+    baseline_path: str,
+    update_baseline: bool = False,
+) -> typing.Tuple[int, typing.List[str]]:
+    """Run mypy and apply the baseline; returns ``(exit code, report)``."""
+    returncode, output = _run_mypy(paths)
+    findings = parse_mypy_output(output)
+    if returncode not in (0, 1):
+        # Crash or usage error: surface mypy's own output verbatim.
+        return returncode, output
+
+    if update_baseline:
+        lines = [
+            "# mypy --strict baseline for src/repro.",
+            "# One fingerprint per line: path:error-code:message.",
+            "# `path::*` grandfathers every error in that module.",
+            "# Regenerate: python -m repro.lint.typegate "
+            "--update-baseline",
+        ]
+        lines.extend(
+            sorted({found_fingerprint for found_fingerprint, _ in findings})
+        )
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return 0, [
+            f"baseline rewritten with {len(findings)} "
+            f"fingerprint(s): {baseline_path}"
+        ]
+
+    exact, wildcards = load_baseline(baseline_path)
+    new_errors = [
+        rendered
+        for found_fingerprint, rendered in findings
+        if found_fingerprint not in exact
+        and found_fingerprint.split(":", 1)[0] not in wildcards
+    ]
+    if new_errors:
+        report = [
+            f"{len(new_errors)} type error(s) not in the baseline "
+            f"({baseline_path}):"
+        ]
+        report.extend(new_errors)
+        report.append(
+            "fix them, or (for pre-existing debt only) regenerate the "
+            "baseline with --update-baseline"
+        )
+        return 1, report
+    grandfathered = len(findings) - len(new_errors)
+    return 0, [
+        "mypy --strict gate passed: no new type errors "
+        f"({grandfathered} grandfathered by {baseline_path})"
+    ]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-typegate",
+        description=(
+            "mypy --strict over src/repro, gated by a checked-in "
+            "baseline so type debt only shrinks"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="paths to type-check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 3) when mypy is not installed, instead of "
+        "skipping",
+    )
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not mypy_available():
+        if args.require:
+            print(
+                "repro-typegate: mypy is not installed and --require "
+                "was given (pip install mypy)",
+                file=sys.stderr,
+            )
+            return 3
+        print(
+            "repro-typegate: mypy not installed; gate skipped "
+            "(install mypy or run in CI to enforce)"
+        )
+        return 0
+    exit_code, report = run_gate(
+        args.paths, args.baseline, update_baseline=args.update_baseline
+    )
+    stream = sys.stdout if exit_code == 0 else sys.stderr
+    for line in report:
+        print(line, file=stream)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

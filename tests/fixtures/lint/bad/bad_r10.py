@@ -1,0 +1,11 @@
+"""R10 true positives: unit-suffixed names bound to mismatched units."""
+
+
+def travel(distance_m: float, speed_mps: float) -> float:
+    travel_s = distance_m * speed_mps
+    return travel_s
+
+
+def drift(offset_m: float, window_s: float) -> float:
+    slack_s = offset_m
+    return slack_s + window_s

@@ -1,0 +1,21 @@
+"""R6 true positives: epoch-guarded state drifts out of sync.
+
+``insert`` mutates ``_positions`` without bumping ``epoch``;
+``within`` populates the ``_memo`` cache without consulting the epoch.
+"""
+
+
+class SpatialGrid:
+    def __init__(self, cell: float) -> None:
+        self.cell = cell
+        self.epoch = 0
+        self._cells = {}
+        self._positions = {}
+        self._memo = {}
+
+    def insert(self, item_id: int, position: tuple) -> None:
+        self._positions[item_id] = position
+
+    def within(self, key: tuple, found: tuple) -> tuple:
+        self._memo[key] = found
+        return found

@@ -1,0 +1,5 @@
+"""R7 true positive: ``tracer.emit`` fires without an ``active`` guard."""
+
+
+def on_delivery(tracer, now: float, frame_id: int) -> None:
+    tracer.emit("delivery", now, frame=frame_id)

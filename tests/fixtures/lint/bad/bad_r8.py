@@ -1,0 +1,15 @@
+"""R8 true positive: a scheduled handler writes module-global state.
+
+``on_beacon`` is reachable from ``sim.call_in`` and appends to a
+module-level list, so it leaks state across runs and replicates.
+"""
+
+_beacon_log = []
+
+
+def on_beacon(node_id: int) -> None:
+    _beacon_log.append(node_id)
+
+
+def start(sim, node_id: int) -> None:
+    sim.call_in(1.0, lambda: on_beacon(node_id))

@@ -1,0 +1,24 @@
+"""R9 true positive: the JSON codec drops a dataclass field.
+
+``duration`` is a field of the dataclass but appears in neither
+``to_json_dict`` nor ``from_json_dict``.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Outage:
+    target: int
+    start: float
+    duration: float
+
+    def to_json_dict(self) -> dict:
+        return {"target": self.target, "start": self.start}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "Outage":
+        return cls(
+            target=int(data["target"]),
+            start=float(data["start"]),
+        )

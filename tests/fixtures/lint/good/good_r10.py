@@ -1,0 +1,20 @@
+"""R10 true negatives: the unit algebra accepts consistent bindings."""
+
+import math
+
+
+def travel(distance_m: float, speed_mps: float) -> float:
+    travel_s = distance_m / speed_mps
+    return travel_s
+
+
+def advance(position_m: float, speed_mps: float, dt_s: float) -> float:
+    step_m = speed_mps * dt_s
+    position_m = position_m + step_m
+    return position_m
+
+
+def diagonal(width_m: float, height_m: float) -> float:
+    area_m2 = width_m * height_m
+    span_m = math.sqrt(area_m2)
+    return span_m

@@ -1,0 +1,42 @@
+"""R6 true negative: mutations bump the epoch, caches consult it.
+
+``_discard`` never bumps the epoch itself, but both of its callers do
+— the fixpoint in R6 accepts that split, mirroring the real grid.
+"""
+
+
+class SpatialGrid:
+    def __init__(self, cell: float) -> None:
+        self.cell = cell
+        self.epoch = 0
+        self._cells = {}
+        self._positions = {}
+        self._memo = {}
+        self._memo_epoch = 0
+
+    def insert(self, item_id: int, position: tuple) -> None:
+        self._positions[item_id] = position
+        self.epoch += 1
+
+    def move(self, item_id: int, position: tuple) -> None:
+        self._discard(item_id)
+        self._positions[item_id] = position
+        self.epoch += 1
+
+    def remove(self, item_id: int) -> None:
+        self._discard(item_id)
+        self._positions.pop(item_id, None)
+        self.epoch += 1
+
+    def _discard(self, item_id: int) -> None:
+        bucket = self._cells.get(item_id)
+        if bucket:
+            bucket.remove(item_id)
+
+    def within(self, key: tuple, found: tuple) -> tuple:
+        if self._memo_epoch != self.epoch:
+            self._memo.clear()
+            self._memo_epoch = self.epoch
+        memo = self._memo
+        memo[key] = found
+        return found

@@ -1,0 +1,13 @@
+"""R7 true negatives: both accepted guard shapes around ``emit``."""
+
+
+def on_delivery(tracer, now: float, frame_id: int) -> None:
+    if tracer.active:
+        tracer.emit("delivery", now, frame=frame_id)
+
+
+def on_burst(tracer, now: float, frames: list) -> None:
+    tracing = tracer.active
+    for frame_id in frames:
+        if tracing:
+            tracer.emit("delivery", now, frame=frame_id)

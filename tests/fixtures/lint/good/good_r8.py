@@ -1,0 +1,25 @@
+"""R8 true negatives: per-instance state, and a reset-covered counter."""
+
+_sequence = 0
+
+
+def reset_sequence() -> None:
+    global _sequence
+    _sequence = 0
+
+
+def next_sequence() -> int:
+    global _sequence
+    _sequence += 1
+    return _sequence
+
+
+class BeaconService:
+    def __init__(self) -> None:
+        self.log = []
+
+    def on_beacon(self, node_id: int) -> None:
+        self.log.append(next_sequence())
+
+    def start(self, sim) -> None:
+        sim.call_in(1.0, self.on_beacon)

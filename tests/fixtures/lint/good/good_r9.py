@@ -1,0 +1,37 @@
+"""R9 true negatives: a generic codec and a complete explicit one."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Outage:
+    target: int
+    start: float
+    duration: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "Outage":
+        names = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: data[key] for key in names})
+
+
+@dataclasses.dataclass(frozen=True)
+class Beacon:
+    source: int
+    period: float
+
+    def to_json_dict(self) -> dict:
+        return {"source": self.source, "period": self.period}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "Beacon":
+        return cls(
+            source=int(data["source"]),
+            period=float(data["period"]),
+        )

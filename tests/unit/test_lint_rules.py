@@ -1,8 +1,10 @@
 """Unit tests for the determinism linter (repro.lint).
 
-Every rule R1–R5 gets a true-positive and a true-negative case, both as
-inline sources (edge cases) and as the paired good/bad fixture files
-under ``tests/fixtures/lint/`` that CI also runs the CLI against.
+Every rule R1–R10 gets a true-positive and a true-negative case as the
+paired good/bad fixture files under ``tests/fixtures/lint/`` that CI
+also runs the CLI against; R1–R5 edge cases are inline here, while the
+project-scope rules (R6–R10) have their deep cases in
+``test_lint_project.py``.
 """
 
 import json
@@ -33,21 +35,24 @@ def ids(violations):
     return sorted({violation.rule_id for violation in violations})
 
 
-def test_rule_catalogue_is_r1_to_r5():
-    assert rule_ids() == ["R1", "R2", "R3", "R4", "R5"]
+ALL_RULE_IDS = [f"R{number}" for number in range(1, 11)]
+
+
+def test_rule_catalogue_is_r1_to_r10():
+    assert rule_ids() == ALL_RULE_IDS
 
 
 # ----------------------------------------------------------------------
 # Fixture files: each bad_rN.py trips exactly rule RN; good files are
 # clean under every rule.
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("number", list(range(1, 11)))
 def test_bad_fixture_trips_its_rule(number):
     violations = lint_file(str(FIXTURES / "bad" / f"bad_r{number}.py"))
     assert ids(violations) == [f"R{number}"]
 
 
-@pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("number", list(range(1, 11)))
 def test_good_fixture_is_clean(number):
     assert lint_file(str(FIXTURES / "good" / f"good_r{number}.py")) == []
 
@@ -345,7 +350,7 @@ def test_select_restricts_rules():
 def test_lint_paths_counts_files():
     violations, checked = lint_paths([str(FIXTURES / "good")])
     assert violations == []
-    assert checked == 5
+    assert checked == 10
 
 
 def test_cli_exits_nonzero_with_file_line_rule_output(capsys):
@@ -354,15 +359,9 @@ def test_cli_exits_nonzero_with_file_line_rule_output(capsys):
     assert exit_code == 1
     finding_lines = output.strip().splitlines()[:-1]  # drop the summary
     assert finding_lines, "expected at least one violation line"
-    pattern = re.compile(r"^\S+/bad_r\d\.py:\d+ R\d .+")
+    pattern = re.compile(r"^\S+/bad_r\d+\.py:\d+ R\d+ .+")
     assert all(pattern.match(line) for line in finding_lines)
-    assert {line.split()[1] for line in finding_lines} == {
-        "R1",
-        "R2",
-        "R3",
-        "R4",
-        "R5",
-    }
+    assert {line.split()[1] for line in finding_lines} == set(ALL_RULE_IDS)
 
 
 def test_cli_exits_zero_on_clean_tree(capsys):
@@ -375,16 +374,16 @@ def test_cli_json_format_round_trips(capsys):
     document = json.loads(capsys.readouterr().out)
     assert exit_code == 1
     assert document["violation_count"] == len(document["violations"])
-    assert set(document["rules"]) == {"R1", "R2", "R3", "R4", "R5"}
+    assert set(document["rules"]) == set(ALL_RULE_IDS)
 
 
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     output = capsys.readouterr().out
-    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+    for rule_id in ALL_RULE_IDS:
         assert rule_id in output
 
 
 def test_cli_rejects_unknown_rule_and_missing_path(capsys):
-    assert main(["--select", "R9", str(FIXTURES / "good")]) == 2
+    assert main(["--select", "R99", str(FIXTURES / "good")]) == 2
     assert main(["tests/fixtures/no-such-dir"]) == 2

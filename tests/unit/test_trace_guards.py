@@ -1,126 +1,88 @@
-"""Audit: every hot-path ``tracer.emit`` call must be guarded.
+"""Regression: the trace-guard invariant, now enforced by lint rule R7.
 
 ``Tracer.emit`` is cheap when nobody listens, but the *call site* still
-pays for building the keyword dict (and any f-strings in it) before
-``emit`` can drop the record.  The convention, documented in
-``docs/PERFORMANCE.md``, is that every emit call in ``src/repro`` sits
-under an ``if <tracer>.active:`` guard — either directly or via a local
-flag hoisted from ``.active`` (``tracing = tracer.active``).
-
-This test walks the package's AST and fails with a file:line list when
-a new emit call ships unguarded, so the invariant survives refactors.
+pays for building the keyword dict before ``emit`` can drop the record;
+every emit in ``src/repro`` therefore sits under an ``if
+<tracer>.active:`` guard (see ``docs/PERFORMANCE.md``).  The AST walker
+that used to live in this file is now ``repro.lint``'s R7 — this test
+just pins the rule to the tree, and keeps a true-positive and a
+true-negative case so the rule itself cannot go blind.
 """
 
 import ast
 import pathlib
+import textwrap
 
 import repro
+from repro.lint import DEFAULT_CONFIG, get_rule, lint_paths, lint_source
 
 SRC_ROOT = pathlib.Path(repro.__file__).parent
 
-
-def _guard_names(tree: ast.AST) -> set:
-    """Names assigned from an ``.active`` read anywhere in the module.
-
-    Covers the hoisted-guard idiom::
-
-        tracing = tracer.active
-        ...
-        if tracing:
-            tracer.emit(...)
-    """
-    names = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Assign) and ".active" in ast.unparse(
-            node.value
-        ):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-    return names
-
-
-def _is_guarded(path: list, guard_names: set) -> bool:
-    """True if any enclosing ``if`` tests ``.active`` or a hoisted flag."""
-    for ancestor in path:
-        if not isinstance(ancestor, ast.If):
-            continue
-        test = ancestor.test
-        if ".active" in ast.unparse(test):
-            return True
-        if isinstance(test, ast.Name) and test.id in guard_names:
-            return True
-    return False
-
-
-def _emit_sites(tree: ast.AST):
-    """Yield ``(call_node, ancestry)`` for every ``<tracer>.emit(...)``."""
-    stack = []
-
-    def visit(node):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "emit"
-            and "tracer" in ast.unparse(node.func.value).lower()
-        ):
-            yield node, list(stack)
-        stack.append(node)
-        for child in ast.iter_child_nodes(node):
-            yield from visit(child)
-        stack.pop()
-
-    yield from visit(tree)
+R7_ONLY = DEFAULT_CONFIG.replace(select=("R7",))
 
 
 def test_every_tracer_emit_is_guarded():
-    offenders = []
-    audited = 0
+    violations, files_checked = lint_paths(
+        [str(SRC_ROOT)], config=R7_ONLY, project_scope=False
+    )
+    assert files_checked >= 20, "audit went blind — tree not found"
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_tree_still_has_emit_sites():
+    """R7 passing must mean 'all guarded', never 'nothing to check'."""
+    emit_sites = 0
     for path in sorted(SRC_ROOT.rglob("*.py")):
         tree = ast.parse(path.read_text(encoding="utf-8"))
-        guard_names = _guard_names(tree)
-        for call, ancestry in _emit_sites(tree):
-            audited += 1
-            # The guard may also live in the enclosing helper (e.g. a
-            # module-private ``_trace`` wrapper whose body is the guard);
-            # ancestry covers that case because the If is an ancestor.
-            if not _is_guarded(ancestry, guard_names):
-                offenders.append(
-                    f"{path.relative_to(SRC_ROOT.parent)}:{call.lineno}"
-                )
-    assert audited >= 20, "audit went blind — emit sites not found"
-    assert not offenders, (
-        "tracer.emit called without a tracer.active guard "
-        f"(see docs/PERFORMANCE.md): {offenders}"
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and "tracer" in ast.unparse(node.func.value).lower()
+            ):
+                emit_sites += 1
+    assert emit_sites >= 20, "emit sites vanished — R7 has nothing to do"
+
+
+def test_r7_detects_unguarded_emit():
+    violations = lint_source(
+        textwrap.dedent(
+            """
+            class Node:
+                def fail(self):
+                    self.tracer.emit("x", 0.0, detail=self.describe())
+            """
+        ),
+        path="repro/net/example.py",
+        config=R7_ONLY,
+    )
+    assert [v.rule_id for v in violations] == ["R7"]
+
+
+def test_r7_accepts_both_guard_idioms():
+    source = textwrap.dedent(
+        """
+        class Node:
+            def fail(self):
+                if self.tracer.active:
+                    self.tracer.emit("x", 0.0)
+
+            def sweep(self):
+                tracer = self.tracer
+                tracing = tracer.active
+                for item in self.items:
+                    if tracing:
+                        tracer.emit("x", 0.0)
+        """
+    )
+    assert (
+        lint_source(source, path="repro/net/example.py", config=R7_ONLY)
+        == []
     )
 
 
-def test_audit_detects_unguarded_emit():
-    """The auditor itself must flag a naked emit (no false negatives)."""
-    tree = ast.parse(
-        "def f(self):\n"
-        "    self.tracer.emit('x', time=0.0, detail=self.describe())\n"
-    )
-    sites = list(_emit_sites(tree))
-    assert len(sites) == 1
-    call, ancestry = sites[0]
-    assert not _is_guarded(ancestry, _guard_names(tree))
-
-
-def test_audit_accepts_both_guard_idioms():
-    direct = ast.parse(
-        "def f(self):\n"
-        "    if self.tracer.active:\n"
-        "        self.tracer.emit('x', time=0.0)\n"
-    )
-    hoisted = ast.parse(
-        "def f(self):\n"
-        "    tracer = self.tracer\n"
-        "    tracing = tracer.active\n"
-        "    for item in self.items:\n"
-        "        if tracing:\n"
-        "            tracer.emit('x', time=0.0)\n"
-    )
-    for tree in (direct, hoisted):
-        ((call, ancestry),) = _emit_sites(tree)
-        assert _is_guarded(ancestry, _guard_names(tree))
+def test_r7_exempts_the_tracer_module_itself():
+    rule = get_rule("R7")
+    assert rule.name == "trace-guard"
+    assert DEFAULT_CONFIG.is_exempt("repro/sim/trace.py", "R7")
