@@ -14,9 +14,15 @@ an SVG snapshot of the final field state.
 
 ``figure``, ``compare`` and ``ablate`` accept ``--store [PATH]`` to
 cache finished runs in a content-addressed store (``--no-store``
-disables it, ``REPRO_STORE`` enables it by default) and ``--jobs N`` to
-fan fresh runs out over N worker processes.  ``store ls|info|gc|verify``
-inspects and maintains the store itself.
+disables it, ``REPRO_STORE`` or ``REPRO_STORE_ROOT`` enables it by
+default) and ``--jobs N`` to fan fresh runs out over N worker
+processes.  ``store ls|info|gc|verify`` inspects and maintains the
+store itself; ``gc --max-bytes/--max-entries`` evicts oldest entries
+over a cap.
+
+``serve`` runs the simulation-as-a-service HTTP API (job submission
+with single-flight dedup over the store — see ``docs/SERVICE.md``);
+``export`` renders stored runs into a static dashboard JSON document.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ from repro.experiments.verification import figure_verification
 from repro.faults.script import load_fault_script
 from repro.sim.trace import RecordingSink, Tracer
 from repro.store import ENV_VAR as STORE_ENV_VAR
+from repro.store import ROOT_ENV_VAR as STORE_ROOT_ENV_VAR
 from repro.store import RunStore
 
 __all__ = ["main", "build_parser"]
@@ -231,8 +238,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help=(
-            "store directory (default: $REPRO_STORE or "
-            "~/.cache/repro-sim)"
+            "store directory (default: $REPRO_STORE_ROOT, "
+            "$REPRO_STORE, or ~/.cache/repro-sim)"
+        ),
+    )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc only: evict oldest entries until the store is at "
+        "most N bytes",
+    )
+    store.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc only: evict oldest entries until at most N remain",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP API "
+        "(see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8373,
+        help="TCP port; 0 binds an ephemeral port (default: 8373)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="simulation worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "store directory backing the service (default: "
+            "$REPRO_STORE_ROOT, $REPRO_STORE, or ~/.cache/repro-sim)"
+        ),
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
+    )
+
+    export = commands.add_parser(
+        "export",
+        help="render stored runs into a static dashboard JSON document",
+    )
+    export.add_argument(
+        "digests",
+        nargs="*",
+        default=[],
+        metavar="DIGEST",
+        help="entry digests (prefixes accepted); or use --all",
+    )
+    export.add_argument(
+        "--all",
+        action="store_true",
+        help="export every entry in the store",
+    )
+    export.add_argument(
+        "--output",
+        default="-",
+        metavar="FILE",
+        help="destination file ('-' prints to stdout; default: -)",
+    )
+    export.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "store directory (default: $REPRO_STORE_ROOT, "
+            "$REPRO_STORE, or ~/.cache/repro-sim)"
         ),
     )
 
@@ -440,14 +532,16 @@ def _resolve_store(args: argparse.Namespace) -> typing.Optional[RunStore]:
     """The store the command should use, or ``None`` when disabled.
 
     Precedence: ``--no-store`` wins; then an explicit ``--store``
-    (optionally with a path); then the ``REPRO_STORE`` environment
-    variable opts the default store in.
+    (optionally with a path); then the ``REPRO_STORE_ROOT`` or
+    ``REPRO_STORE`` environment variable opts the default store in
+    (``RunStore()`` itself resolves which directory that is — see
+    ``docs/STORE.md``).
     """
     if getattr(args, "no_store", False):
         return None
     if args.store is not None:
         return RunStore(args.store or None)
-    if os.environ.get(STORE_ENV_VAR):
+    if os.environ.get(STORE_ROOT_ENV_VAR) or os.environ.get(STORE_ENV_VAR):
         return RunStore()
     return None
 
@@ -818,12 +912,20 @@ def _command_store(args: argparse.Namespace) -> int:
             print(" ", line)
         return 0
     if args.action == "gc":
-        outcome = store.gc()
+        outcome = store.gc(
+            max_bytes=args.max_bytes, max_entries=args.max_entries
+        )
+        note = ""
+        if args.max_bytes is not None or args.max_entries is not None:
+            note = (
+                f", evicted {outcome.evicted} "
+                f"(now {outcome.kept_bytes} bytes)"
+            )
         print(
             f"gc {store.root}: kept {outcome.kept}, removed "
             f"{outcome.removed_stale} stale entr(y/ies) and "
             f"{outcome.removed_tmp} temp file(s), quarantined "
-            f"{outcome.quarantined}"
+            f"{outcome.quarantined}{note}"
         )
         return 0
     # verify
@@ -835,6 +937,85 @@ def _command_store(args: argparse.Namespace) -> int:
     for path, reason in outcome.corrupt:
         print(f"corrupt: {path} ({reason})", file=sys.stderr)
     return 0 if outcome.passed else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP job API until interrupted."""
+    from repro.service import serve
+
+    store = RunStore(args.store)
+    server = serve(
+        store=store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quiet=args.quiet,
+    )
+    # The announced line is machine-read by the CI smoke job (and by
+    # anyone scripting against --port 0), so keep it one flushed line.
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"[store {store.root}, {args.workers} worker(s)]",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.queue.shutdown(wait=False)
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    """Render stored runs into one static dashboard JSON document."""
+    import json
+
+    from repro.service.export import export_runs
+
+    store = RunStore(args.store)
+    if args.all:
+        entries = list(store.entries())
+    elif not args.digests:
+        print(
+            "export: give entry digests (prefixes) or --all",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        entries = []
+        for prefix in args.digests:
+            matches = store.resolve_prefix(prefix)
+            if len(matches) != 1:
+                print(
+                    f"export: {prefix!r} matches {len(matches)} entries",
+                    file=sys.stderr,
+                )
+                return 2
+            entry = store.load(matches[0])
+            if entry is None:
+                print(
+                    f"export: entry {matches[0][:12]} failed validation",
+                    file=sys.stderr,
+                )
+                return 1
+            entries.append(entry)
+    document = export_runs(entries)
+    text = json.dumps(
+        document, sort_keys=True, indent=2, allow_nan=False
+    )
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"export: wrote {document['count']} run(s) to {args.output}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -920,6 +1101,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         "ablate": _command_ablate,
         "faults": _command_faults,
         "store": _command_store,
+        "serve": _command_serve,
+        "export": _command_export,
         "bench": _command_bench,
         "params": _command_params,
         "lint": _command_lint,

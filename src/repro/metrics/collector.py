@@ -515,6 +515,30 @@ class RunReport:
             )
         return lines
 
+    def headline(self) -> typing.Dict[str, float]:
+        """The dashboard headline metrics, flat, with explicit units.
+
+        The keys are stable export vocabulary (``repro.service.export``
+        builds its documents and per-algorithm series from them); the
+        values may be ``NaN`` for undefined means — exports sanitize.
+        """
+        return {
+            "failures": self.failures,
+            "detected": self.detected,
+            "reported": self.reported,
+            "repaired": self.repaired,
+            "unrepaired_fraction": self.unrepaired_fraction,
+            "mean_travel_distance_m": self.mean_travel_distance,
+            "mean_repair_latency_s": self.mean_repair_latency,
+            "mean_report_hops": self.mean_report_hops,
+            "mean_request_hops": self.mean_request_hops,
+            "update_transmissions_per_failure": (
+                self.update_transmissions_per_failure
+            ),
+            "report_delivery_ratio": self.report_delivery_ratio,
+            "total_robot_distance_m": self.total_robot_distance,
+        }
+
     # ------------------------------------------------------------------
     # Versioned JSON serialization (repro.store)
     # ------------------------------------------------------------------

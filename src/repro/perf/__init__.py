@@ -1,9 +1,10 @@
 """Performance harness: hot-path microbenchmarks and profiling helpers.
 
 ``repro.perf.bench`` measures throughput of the three substrate hot
-paths (event kernel, spatial grid, channel broadcast fan-out) with
-plain self-timed loops — no pytest required — so the numbers can be
-recorded by ``repro-sim bench`` and compared across commits.
+paths (event kernel, spatial grid, channel broadcast fan-out) plus the
+service plane's cache-hit submission path, with plain self-timed
+loops — no pytest required — so the numbers can be recorded by
+``repro-sim bench`` and compared across commits.
 ``repro.perf.profiling`` wraps :mod:`cProfile` for the ``--profile``
 flag on the sweep-backed CLI commands.
 
@@ -16,6 +17,7 @@ from repro.perf.bench import (
     channel_fanout_throughput,
     kernel_throughput,
     run_benchmarks,
+    service_submit_throughput,
     spatial_throughput,
 )
 from repro.perf.profiling import profile_call
@@ -26,5 +28,6 @@ __all__ = [
     "kernel_throughput",
     "profile_call",
     "run_benchmarks",
+    "service_submit_throughput",
     "spatial_throughput",
 ]

@@ -11,6 +11,11 @@ has a dedicated throughput benchmark:
   fields at the paper's three densities (4/9/16 robots' worth of
   sensors), optionally with a lossy radio.
 
+A fourth benchmark times the service plane instead of the simulator:
+**service submit** pushes cache-hit submissions through the full HTTP
+stack (client → ``ThreadingHTTPServer`` → single-flight queue → store
+lookup) and reports requests per second.
+
 All benchmarks build their own fixtures, time with the provenance
 clock (the package's single sanctioned wall-clock read site), and
 return plain ``operations / second`` floats, so they run identically
@@ -19,14 +24,20 @@ under ``repro-sim bench``, pytest, and CI.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import threading
 import typing
 
+from repro.deploy.scenario import Algorithm, paper_scenario
 from repro.geometry import Point
+from repro.metrics.collector import RunReport
 from repro.net import Channel, NetworkNode, RadioConfig
 from repro.net.frames import BROADCAST, Category, Frame, Packet
 from repro.net.radio import SENSOR_RANGE_M
 from repro.net.spatial import SpatialGrid
 from repro.sim import RandomStreams, Simulator
+from repro.store import RunStore
 from repro.store.provenance import perf_clock
 
 __all__ = [
@@ -34,6 +45,7 @@ __all__ = [
     "channel_fanout_throughput",
     "kernel_throughput",
     "run_benchmarks",
+    "service_submit_throughput",
     "spatial_throughput",
 ]
 
@@ -146,6 +158,67 @@ def channel_fanout_throughput(
     return sent / (perf_clock() - started)
 
 
+def _synthetic_report(description: str) -> RunReport:
+    """A populated RunReport without running a simulation."""
+    return RunReport(
+        description=description,
+        failures=5,
+        detected=5,
+        reported=4,
+        repaired=3,
+        mean_travel_distance=82.5,
+        mean_repair_latency=130.25,
+        mean_report_hops=2.4,
+        mean_request_hops=float("nan"),
+        update_transmissions_per_failure=101.5,
+        report_delivery_ratio=1.0,
+        total_robot_distance=412.0,
+        transmissions_by_category={"beacon": 100},
+        routing_snapshot={},
+    )
+
+
+def service_submit_throughput(submits: int = 200, seed: int = 11) -> float:
+    """Cache-hit submissions per second through the full HTTP stack.
+
+    Prepopulates a throwaway store with one entry, starts the service
+    on an ephemeral port, and re-submits that entry's config *submits*
+    times — every request exercises client, server, routing, the
+    single-flight queue, and a store lookup, but no simulation runs.
+    """
+    from repro.service import JobQueue, ServiceClient, serve
+
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = RunStore(root)
+        config = paper_scenario(
+            Algorithm.FIXED,
+            4,
+            seed=seed,
+            sensors_per_robot=5,
+            placement="grid",
+            sim_time_s=500.0,
+        )
+        store.put(config, _synthetic_report(config.describe()))
+        queue = JobQueue(store, workers=1)
+        server = serve(queue=queue, quiet=True)
+        threading.Thread(
+            target=server.serve_forever, daemon=True
+        ).start()
+        client = ServiceClient(port=server.port)
+        body = config.to_json_dict()
+        started = perf_clock()
+        for _ in range(submits):
+            client.submit(body)
+        elapsed = perf_clock() - started
+        server.shutdown()
+        server.server_close()
+        queue.shutdown(wait=False)
+        return submits / elapsed
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def run_benchmarks(
     quick: bool = False,
 ) -> typing.Dict[str, typing.Dict[str, float]]:
@@ -194,6 +267,13 @@ def run_benchmarks(
                 PAPER_DENSITIES[16], loss_rate=0.1, rounds=fan_rounds
             ),
             1,
+        ),
+    }
+    submits = 200 // scale
+    results["service_submit_hit"] = {
+        "submits": submits,
+        "throughput_per_s": round(
+            service_submit_throughput(submits), 1
         ),
     }
     return results

@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: HTTP job API over the content-addressed store.
+
+``repro.service`` turns the simulator into a long-running service: a
+zero-dependency HTTP API (:mod:`repro.service.api`) accepting
+``ScenarioConfig`` JSON, a process-backed worker pool with
+**single-flight dedup** (:mod:`repro.service.queue` — identical
+concurrent configs coalesce into one execution, keyed by the canonical
+config digest), and a static JSON exporter
+(:mod:`repro.service.export`) rendering finished runs into
+dashboard-friendly documents.
+
+Start it with ``repro-sim serve``; talk to it with
+:class:`repro.service.client.ServiceClient` or plain curl.  The full
+API reference lives in ``docs/SERVICE.md``.
+"""
+
+from repro.service.api import ServiceHandler, ServiceServer, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.export import (
+    EXPORT_SCHEMA_VERSION,
+    export_entry,
+    export_runs,
+)
+from repro.service.queue import (
+    JobQueue,
+    ServiceCounters,
+    SubmitOutcome,
+    WorkerPool,
+    execute_job,
+    worker_identity,
+)
+
+__all__ = [
+    "EXPORT_SCHEMA_VERSION",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceCounters",
+    "ServiceError",
+    "ServiceHandler",
+    "ServiceServer",
+    "SubmitOutcome",
+    "WorkerPool",
+    "execute_job",
+    "export_entry",
+    "export_runs",
+    "serve",
+    "worker_identity",
+]

@@ -1,0 +1,132 @@
+"""A minimal stdlib HTTP client for the service API.
+
+Used by the test-suite and the CI smoke job; handy interactively too::
+
+    from repro.service.client import ServiceClient
+    client = ServiceClient("127.0.0.1", 8373)
+    out = client.submit(config.to_json_dict())
+    client.wait(out["digest"])
+    print(client.export(out["digest"])["headline"])
+
+One :class:`http.client.HTTPConnection` per request — boring, correct,
+and thread-safe by construction.  Non-2xx responses raise
+:class:`ServiceError` carrying the status code and the server's JSON
+error body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import typing
+import urllib.parse
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(
+        self, code: int, payload: typing.Mapping[str, typing.Any]
+    ) -> None:
+        self.code = code
+        self.payload = dict(payload)
+        detail = self.payload.get("error", "")
+        super().__init__(f"HTTP {code}: {detail}")
+
+
+class ServiceClient:
+    """Talk JSON to one running :class:`~repro.service.api.ServiceServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8373,
+        timeout_s: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> typing.Dict[str, typing.Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self, config: typing.Mapping[str, typing.Any]
+    ) -> typing.Dict[str, typing.Any]:
+        """``POST /v1/runs`` with a ``ScenarioConfig`` JSON dict."""
+        return self._request("POST", "/v1/runs", body={"config": config})
+
+    def job(
+        self, digest: str, wait_s: typing.Optional[float] = None
+    ) -> typing.Dict[str, typing.Any]:
+        """``GET /v1/runs/<digest>``, optionally long-polling."""
+        query = {"wait": f"{wait_s:g}"} if wait_s is not None else None
+        return self._request("GET", f"/v1/runs/{digest}", query=query)
+
+    def wait(
+        self, digest: str, timeout_s: float = 60.0
+    ) -> typing.Dict[str, typing.Any]:
+        """Long-poll until *digest* settles; returns the job payload."""
+        return self.job(digest, wait_s=timeout_s)
+
+    def jobs(
+        self,
+        status: typing.Optional[str] = None,
+        limit: typing.Optional[int] = None,
+    ) -> typing.Dict[str, typing.Any]:
+        """``GET /v1/runs`` with optional filters."""
+        query: typing.Dict[str, str] = {}
+        if status is not None:
+            query["status"] = status
+        if limit is not None:
+            query["limit"] = str(limit)
+        return self._request("GET", "/v1/runs", query=query or None)
+
+    def stats(self) -> typing.Dict[str, typing.Any]:
+        """``GET /v1/store/stats``."""
+        return self._request("GET", "/v1/store/stats")
+
+    def export(self, digest: str) -> typing.Dict[str, typing.Any]:
+        """``GET /v1/runs/<digest>/export`` (strict JSON document)."""
+        return self._request("GET", f"/v1/runs/{digest}/export")
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: typing.Optional[typing.Mapping[str, typing.Any]] = None,
+        query: typing.Optional[typing.Mapping[str, str]] = None,
+    ) -> typing.Dict[str, typing.Any]:
+        if query:
+            path = f"{path}?{urllib.parse.urlencode(query)}"
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        try:
+            document = json.loads(text) if text else {}
+        except ValueError as error:
+            raise ServiceError(
+                response.status, {"error": f"non-JSON body: {error}"}
+            ) from error
+        if not isinstance(document, dict):
+            document = {"value": document}
+        if not 200 <= response.status < 300:
+            raise ServiceError(response.status, document)
+        return typing.cast(typing.Dict[str, typing.Any], document)

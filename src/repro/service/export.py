@@ -1,0 +1,165 @@
+"""Dashboard-friendly JSON export of stored run results.
+
+Renders :class:`~repro.store.StoreEntry` objects into **flat, strict
+JSON** documents (in the style of a static web export): headline
+metrics, per-algorithm series over robot counts, and the
+fault/verification counter families.  Strict means non-finite floats
+(``NaN``/``inf``) become ``null`` — unlike the store files and the job
+API, which keep Python's ``NaN`` literals for lossless round-trips,
+these documents are meant to be fetched by browsers and plotting
+tools that reject non-standard JSON.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.metrics.collector import RunReport
+from repro.store import STORE_SCHEMA_VERSION, StoreEntry
+from repro.store.provenance import wall_clock
+
+__all__ = [
+    "EXPORT_SCHEMA_VERSION",
+    "SERIES_METRICS",
+    "export_entry",
+    "export_runs",
+]
+
+#: Version of the export document layout.
+EXPORT_SCHEMA_VERSION = 1
+
+#: Headline metrics plotted as per-algorithm series over robot counts
+#: (the x-axis of every figure in the paper).
+SERIES_METRICS = (
+    "mean_travel_distance_m",
+    "mean_repair_latency_s",
+    "mean_report_hops",
+    "update_transmissions_per_failure",
+    "unrepaired_fraction",
+)
+
+
+def _jsonable(value: typing.Any) -> typing.Any:
+    """*value* with non-finite floats replaced by ``None``, recursively."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _fault_counters(report: RunReport) -> typing.Dict[str, typing.Any]:
+    return {
+        "robot_faults": report.robot_faults,
+        "robot_faults_detected": report.robot_faults_detected,
+        "robot_recoveries": report.robot_recoveries,
+        "mean_fault_detection_latency_s": (
+            report.mean_fault_detection_latency_s
+        ),
+        "redispatches": report.redispatches,
+        "orphaned": report.orphaned,
+    }
+
+
+def _verification_counters(
+    report: RunReport,
+) -> typing.Dict[str, typing.Any]:
+    return {
+        "suspicions": report.suspicions,
+        "suspicions_cleared": report.suspicions_cleared,
+        "probes_sent": report.probes_sent,
+        "probes_answered": report.probes_answered,
+        "false_dispatches": report.false_dispatches,
+        "aborted_replacements": report.aborted_replacements,
+        "false_replacements": report.false_replacements,
+        "wasted_travel_m": report.wasted_travel_m,
+        "mean_verification_latency_s": (
+            report.mean_verification_latency_s
+        ),
+    }
+
+
+def export_entry(entry: StoreEntry) -> typing.Dict[str, typing.Any]:
+    """One store entry as a flat dashboard document (strict JSON)."""
+    config = entry.config
+    report = entry.report
+    manifest = entry.manifest
+    document = {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "digest": entry.digest,
+        "store_schema": entry.schema,
+        "description": config.describe(),
+        "scenario": {
+            "algorithm": config.algorithm,
+            "robot_count": config.robot_count,
+            "seed": config.seed,
+            "sensor_count": config.sensor_count,
+            "area_side_m": config.area_side_m,
+            "sim_time_s": config.sim_time_s,
+            "robot_speed_mps": config.robot_speed_mps,
+            "loss_rate": config.loss_rate,
+            "faults_enabled": config.faults_enabled,
+            "verify_failures": config.verify_failures,
+        },
+        "headline": report.headline(),
+        "transmissions_by_category": dict(
+            sorted(report.transmissions_by_category.items())
+        ),
+        "faults": _fault_counters(report),
+        "verification": _verification_counters(report),
+        "provenance": {
+            "created_unix": manifest.get("created_unix"),
+            "duration_s": manifest.get("duration_s"),
+            "package_version": manifest.get("package_version"),
+        },
+    }
+    return typing.cast(typing.Dict[str, typing.Any], _jsonable(document))
+
+
+def export_runs(
+    entries: typing.Iterable[StoreEntry],
+) -> typing.Dict[str, typing.Any]:
+    """Many entries as one document with per-algorithm series.
+
+    ``series`` maps ``algorithm → metric → [[robot_count, mean], ...]``
+    with the mean taken over every run (seed/replicate) of that
+    algorithm at that robot count — the exact shape a dashboard needs
+    to redraw the paper's figures without touching the simulator.
+    """
+    runs = sorted(
+        (export_entry(entry) for entry in entries),
+        key=lambda run: str(run["digest"]),
+    )
+    cells: typing.Dict[
+        typing.Tuple[str, int], typing.List[typing.Dict[str, typing.Any]]
+    ] = {}
+    for run in runs:
+        scenario = run["scenario"]
+        key = (str(scenario["algorithm"]), int(scenario["robot_count"]))
+        cells.setdefault(key, []).append(run["headline"])
+    series: typing.Dict[
+        str, typing.Dict[str, typing.List[typing.List[float]]]
+    ] = {}
+    for (algorithm, robot_count), headlines in sorted(cells.items()):
+        for metric in SERIES_METRICS:
+            values = [
+                headline[metric]
+                for headline in headlines
+                if headline.get(metric) is not None
+            ]
+            if not values:
+                continue
+            series.setdefault(algorithm, {}).setdefault(metric, []).append(
+                [float(robot_count), sum(values) / len(values)]
+            )
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "store_schema": STORE_SCHEMA_VERSION,
+        "generated_unix": wall_clock(),
+        "count": len(runs),
+        "runs": runs,
+        "series": series,
+    }

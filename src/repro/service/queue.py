@@ -1,0 +1,430 @@
+"""Job queue + worker pool: single-flight execution over the store.
+
+The service's core invariant is **single-flight dedup**: at any moment,
+at most one execution per content digest.  A submission of a config
+whose digest
+
+* already has a store entry — is a **cache hit** (no execution);
+* is currently queued or running — **coalesces** into the in-flight
+  job (its ``submissions`` counter grows, nothing new runs);
+* is unknown — creates a :class:`~repro.store.JobRecord`, persists it
+  beside the (future) store entry, and hands the config to the worker
+  pool.
+
+Workers are separate *processes* (simulations are CPU-bound and the
+kernel holds the GIL tight), created from a ``spawn`` context so the
+multi-threaded HTTP parent never forks mid-lock.  Each worker marks the
+job record ``running`` with its own identity before simulating; the
+parent finishes the record (``done``/``failed``) and persists the
+result, so a crashed worker leaves a truthful trail on disk.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import threading
+import traceback
+import typing
+
+from repro.deploy.scenario import ScenarioConfig
+from repro.experiments.runner import run_config_timed
+from repro.metrics.collector import RunReport
+from repro.store import JobRecord, JobStatus, JobStore, RunStore, StoreEntry
+from repro.store.keys import config_digest
+from repro.store.provenance import wall_clock
+
+__all__ = [
+    "JobQueue",
+    "ServiceCounters",
+    "SubmitOutcome",
+    "WorkerPool",
+    "execute_job",
+    "worker_identity",
+]
+
+#: A runner executes one config and returns (report, duration, worker).
+Runner = typing.Callable[
+    [ScenarioConfig, str], typing.Tuple[RunReport, float, str]
+]
+
+
+def worker_identity() -> str:
+    """Stable identity of the executing worker process."""
+    return f"pid-{os.getpid()}"
+
+
+def execute_job(
+    config: ScenarioConfig, store_root: str
+) -> typing.Tuple[RunReport, float, str]:
+    """Run one scenario in a worker process.
+
+    Marks the persisted job record ``running`` (best effort — the
+    record is advisory) before simulating, so pollers see progress, and
+    returns ``(report, duration_s, worker)`` for the parent to finish
+    the record and persist the result.
+    """
+    jobs = JobStore(store_root)
+    digest = config_digest(config)
+    record = jobs.load(digest)
+    if record is not None and not record.terminal:
+        record.status = JobStatus.RUNNING
+        record.started_unix = wall_clock()
+        record.worker = worker_identity()
+        jobs.save(record)
+    report, duration = run_config_timed(config)
+    return report, duration, worker_identity()
+
+
+class WorkerPool:
+    """A fixed-width pool of scenario-executing worker processes.
+
+    Thin wrapper over :class:`concurrent.futures.ProcessPoolExecutor`
+    (``spawn`` context) that pins the runner function and exposes only
+    what the queue needs.  Tests inject a thread-based *executor* and a
+    synchronous *runner* to make coalescing windows deterministic.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        runner: Runner = execute_job,
+        executor: typing.Optional[concurrent.futures.Executor] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.runner = runner
+        self._executor = executor
+
+    def _pool(self) -> concurrent.futures.Executor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._executor
+
+    def submit(
+        self, config: ScenarioConfig, store_root: str
+    ) -> "concurrent.futures.Future[typing.Tuple[RunReport, float, str]]":
+        """Schedule *config* for execution; returns its future."""
+        return self._pool().submit(self.runner, config, store_root)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool (idempotent; lazily-created pools may not exist)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._executor = None
+
+
+@dataclasses.dataclass(slots=True)
+class ServiceCounters:
+    """Mutable hit/miss accounting for one queue lifetime."""
+
+    #: Submissions answered from an existing store entry.
+    hits: int = 0
+    #: Submissions that created a new execution.
+    misses: int = 0
+    #: Submissions folded into an already-in-flight execution.
+    coalesced: int = 0
+    #: Executions that completed and persisted a result.
+    executed: int = 0
+    #: Executions that raised.
+    failed: int = 0
+
+    def to_json_dict(self) -> typing.Dict[str, int]:
+        """Counter values as a JSON-native dict."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+
+@dataclasses.dataclass(slots=True)
+class SubmitOutcome:
+    """What happened to one submission."""
+
+    digest: str
+    record: JobRecord
+    #: Served from an existing store entry (terminal immediately).
+    cached: bool = False
+    #: Folded into an in-flight execution of the same digest.
+    coalesced: bool = False
+
+    @property
+    def created(self) -> bool:
+        """True when this submission started a new execution."""
+        return not (self.cached or self.coalesced)
+
+
+@dataclasses.dataclass(slots=True)
+class _InflightJob:
+    """Parent-side state of one running execution."""
+
+    config: ScenarioConfig
+    record: JobRecord
+    settled: threading.Event
+
+
+class JobQueue:
+    """Single-flight scenario executions keyed by content digest.
+
+    All public methods are thread-safe (the HTTP layer calls them from
+    many handler threads).  ``submit`` never blocks on simulation work;
+    ``wait`` blocks until a digest's in-flight execution settles.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        workers: int = 2,
+        pool: typing.Optional[WorkerPool] = None,
+    ) -> None:
+        self.store = store
+        self.jobs = JobStore(store.root)
+        self.pool = pool if pool is not None else WorkerPool(workers)
+        self.counters = ServiceCounters()
+        self._lock = threading.Lock()
+        self._inflight: typing.Dict[str, _InflightJob] = {}
+
+    # ------------------------------------------------------------------
+    # Submission (single-flight)
+    # ------------------------------------------------------------------
+    def submit(
+        self, config: ScenarioConfig, source: str = "api"
+    ) -> SubmitOutcome:
+        """Submit *config*; returns immediately with its digest + state.
+
+        Exactly one of three things happens (see the module docstring):
+        cache hit, coalesce, or a fresh execution.  In every case the
+        returned record snapshot reflects the state at return time.
+        """
+        digest = config_digest(config)
+        with self._lock:
+            inflight = self._inflight.get(digest)
+            if inflight is not None:
+                inflight.record.submissions += 1
+                self.counters.coalesced += 1
+                self.jobs.save(inflight.record)
+                return SubmitOutcome(
+                    digest=digest,
+                    record=_copy_record(inflight.record),
+                    coalesced=True,
+                )
+            entry = self.store.load(digest)
+            if entry is not None:
+                self.counters.hits += 1
+                record = self._terminal_record(digest, entry, source)
+                return SubmitOutcome(
+                    digest=digest, record=record, cached=True
+                )
+            self.counters.misses += 1
+            record = JobRecord(
+                digest=digest,
+                status=JobStatus.QUEUED,
+                submitted_unix=wall_clock(),
+                source=source,
+                description=config.describe(),
+            )
+            self.jobs.save(record)
+            job = _InflightJob(
+                config=config, record=record, settled=threading.Event()
+            )
+            self._inflight[digest] = job
+            snapshot = _copy_record(record)
+        # Dispatch OUTSIDE the lock: add_done_callback runs _finish
+        # inline when the future already settled, and _finish takes the
+        # lock — holding it here would deadlock on fast executors.
+        future = self.pool.submit(config, self.store.root)
+        future.add_done_callback(
+            lambda done, digest=digest: self._finish(digest, done)
+        )
+        return SubmitOutcome(digest=digest, record=snapshot)
+
+    def _finish(
+        self,
+        digest: str,
+        future: "concurrent.futures.Future[typing.Tuple[RunReport, float, str]]",
+    ) -> None:
+        """Settle one execution: persist result + final job record."""
+        job = self._inflight.get(digest)
+        if job is None:  # pragma: no cover - defensive; submit wired it
+            return
+        record = job.record
+        try:
+            report, duration, worker = future.result()
+        except Exception as error:
+            detail = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            with self._lock:
+                record.status = JobStatus.FAILED
+                record.finished_unix = wall_clock()
+                record.error = detail
+                self.counters.failed += 1
+                self._merge_worker_fields(record)
+                self.jobs.save(record)
+                del self._inflight[digest]
+        else:
+            self.store.put(job.config, report, duration_s=duration)
+            with self._lock:
+                record.status = JobStatus.DONE
+                record.finished_unix = wall_clock()
+                record.duration_s = duration
+                record.worker = worker
+                self.counters.executed += 1
+                self._merge_worker_fields(record)
+                self.jobs.save(record)
+                del self._inflight[digest]
+        job.settled.set()
+
+    def _merge_worker_fields(self, record: JobRecord) -> None:
+        """Fold the worker's ``running`` save into the parent's record.
+
+        The worker persisted ``started_unix``/``worker`` from its own
+        process; the parent's in-memory record is authoritative for
+        everything else (notably coalesced ``submissions``).
+        """
+        persisted = self.jobs.load(record.digest)
+        if persisted is not None:
+            if record.started_unix is None:
+                record.started_unix = persisted.started_unix
+            if record.worker is None:
+                record.worker = persisted.worker
+
+    def _terminal_record(
+        self, digest: str, entry: StoreEntry, source: str
+    ) -> JobRecord:
+        """The record answering a cache hit.
+
+        Reuses the persisted record when one exists; otherwise
+        synthesizes a ``done`` record from the entry's manifest (the
+        entry may predate the service — a sweep or CI put it there).
+        """
+        record = self.jobs.load(digest)
+        if record is not None and record.terminal:
+            return record
+        manifest = entry.manifest
+        created = manifest.get("created_unix")
+        stamp = (
+            float(created)
+            if isinstance(created, (int, float))
+            else wall_clock()
+        )
+        duration = manifest.get("duration_s")
+        synthesized = JobRecord(
+            digest=digest,
+            status=JobStatus.DONE,
+            submitted_unix=stamp,
+            finished_unix=stamp,
+            duration_s=(
+                float(duration)
+                if isinstance(duration, (int, float))
+                else float("nan")
+            ),
+            source="store" if record is None else source,
+            description=entry.config.describe(),
+        )
+        self.jobs.save(synthesized)
+        return synthesized
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def status(self, digest: str) -> typing.Optional[JobRecord]:
+        """Current record for *digest*, or ``None`` if unknown.
+
+        Resolution order: in-flight state, persisted record, then a
+        record synthesized from a bare store entry.
+        """
+        with self._lock:
+            inflight = self._inflight.get(digest)
+            if inflight is not None:
+                persisted = self.jobs.load(digest)
+                record = _copy_record(inflight.record)
+                if persisted is not None and persisted.started_unix:
+                    record.status = persisted.status
+                    record.started_unix = persisted.started_unix
+                    record.worker = persisted.worker
+                return record
+        record = self.jobs.load(digest)
+        if record is not None:
+            return record
+        entry = self.store.load(digest)
+        if entry is not None:
+            with self._lock:
+                return self._terminal_record(digest, entry, "store")
+        return None
+
+    def result(self, digest: str) -> typing.Optional[StoreEntry]:
+        """The store entry for *digest* once done, else ``None``."""
+        return self.store.load(digest)
+
+    def wait(self, digest: str, timeout: typing.Optional[float]) -> bool:
+        """Block until *digest*'s in-flight execution settles.
+
+        True when the digest is not (or no longer) in flight within
+        *timeout* seconds; a digest that was never submitted returns
+        True immediately (there is nothing to wait for).
+        """
+        with self._lock:
+            job = self._inflight.get(digest)
+        if job is None:
+            return True
+        return job.settled.wait(timeout)
+
+    def list_records(
+        self,
+        status: typing.Optional[str] = None,
+        limit: typing.Optional[int] = None,
+    ) -> typing.List[JobRecord]:
+        """All known job records, newest submission first.
+
+        In-flight state wins over the persisted copy of the same
+        digest.  *status* filters exactly; *limit* truncates after
+        sorting.
+        """
+        merged: typing.Dict[str, JobRecord] = {
+            record.digest: record for record in self.jobs.records()
+        }
+        with self._lock:
+            for digest, job in self._inflight.items():
+                merged[digest] = _copy_record(job.record)
+        records = sorted(
+            merged.values(),
+            key=lambda record: (-record.submitted_unix, record.digest),
+        )
+        if status is not None:
+            records = [
+                record for record in records if record.status == status
+            ]
+        if limit is not None and limit >= 0:
+            records = records[:limit]
+        return records
+
+    def inflight_count(self) -> int:
+        """Digests currently queued or running."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> typing.Dict[str, typing.Any]:
+        """The ``/v1/store/stats`` payload: counters + store footprint."""
+        entries, total_bytes = self.store.size_stats()
+        return {
+            "root": self.store.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "inflight": self.inflight_count(),
+            "workers": self.pool.workers,
+            "counters": self.counters.to_json_dict(),
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool."""
+        self.pool.shutdown(wait=wait)
+
+
+def _copy_record(record: JobRecord) -> JobRecord:
+    """A detached snapshot safe to hand outside the queue lock."""
+    return dataclasses.replace(record)

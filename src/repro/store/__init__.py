@@ -12,6 +12,9 @@ Layout, digest scheme, and invalidation rules are documented in
 """
 
 from repro.store.codec import (
+    JOB_SCHEMA_VERSION,
+    JobRecord,
+    JobStatus,
     StoreDecodeError,
     StoreEntry,
     StoreSchemaError,
@@ -26,7 +29,9 @@ from repro.store.keys import (
 )
 from repro.store.store import (
     ENV_VAR,
+    ROOT_ENV_VAR,
     GcReport,
+    JobStore,
     RunStore,
     VerifyReport,
     default_root,
@@ -35,6 +40,11 @@ from repro.store.store import (
 __all__ = [
     "ENV_VAR",
     "GcReport",
+    "JOB_SCHEMA_VERSION",
+    "JobRecord",
+    "JobStatus",
+    "JobStore",
+    "ROOT_ENV_VAR",
     "RunStore",
     "STORE_SCHEMA_VERSION",
     "StoreDecodeError",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import typing
 
 from repro.deploy.scenario import ScenarioConfig
@@ -21,6 +22,9 @@ from repro.store import keys
 from repro.store.keys import canonical_json, config_digest
 
 __all__ = [
+    "JOB_SCHEMA_VERSION",
+    "JobRecord",
+    "JobStatus",
     "StoreDecodeError",
     "StoreEntry",
     "StoreSchemaError",
@@ -133,6 +137,103 @@ def decode_entry(
         manifest=manifest,
         report=report,
     )
+
+
+#: Version of the persisted :class:`JobRecord` format.  Independent of
+#: :data:`~repro.store.keys.STORE_SCHEMA_VERSION`: job state is
+#: advisory bookkeeping beside a result, never part of a digest
+#: preimage.  A record written under a different version is treated as
+#: absent (the job is re-derived from the store entry, or re-run).
+JOB_SCHEMA_VERSION = 1
+
+
+class JobStatus:
+    """Lifecycle states of one service job (``repro.service``)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED)
+    #: States a job never leaves.
+    TERMINAL = (DONE, FAILED)
+
+
+@dataclasses.dataclass(slots=True)
+class JobRecord:
+    """Persisted execution state of one submitted scenario.
+
+    Lives beside the store entry it produces (``jobs/<aa>/<digest>.json``
+    under the same root, see :class:`~repro.store.store.JobStore`), so
+    the service can answer "what happened to this digest" across
+    restarts, worker processes, and coalesced submissions.
+    """
+
+    digest: str
+    status: str = JobStatus.QUEUED
+    schema: int = JOB_SCHEMA_VERSION
+    #: Wall-clock provenance timestamps (never simulation time).
+    submitted_unix: float = 0.0
+    started_unix: typing.Optional[float] = None
+    finished_unix: typing.Optional[float] = None
+    #: Measured execution wall time; ``NaN`` until the run finishes
+    #: (and forever for cache hits, which execute nothing).
+    duration_s: float = math.nan
+    #: Identity of the worker process that executed the run.
+    worker: typing.Optional[str] = None
+    #: Failure reason when ``status == FAILED``.
+    error: typing.Optional[str] = None
+    #: How many submissions coalesced into this single execution
+    #: (single-flight dedup counts every taker).
+    submissions: int = 1
+    #: Who created the job: ``"api"``, ``"cli"``, or ``"store"`` for
+    #: records synthesized from a pre-existing store entry.
+    source: str = "api"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in JobStatus.ALL:
+            raise ValueError(f"unknown job status: {self.status!r}")
+        if self.submissions < 1:
+            raise ValueError(
+                f"submissions must be >= 1: {self.submissions}"
+            )
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can no longer change state."""
+        return self.status in JobStatus.TERMINAL
+
+    # ------------------------------------------------------------------
+    # Versioned JSON serialization (repro.store)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> typing.Dict[str, typing.Any]:
+        """All fields as a JSON-native dict."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, data: typing.Mapping[str, typing.Any]
+    ) -> "JobRecord":
+        """Rebuild a record from :meth:`to_json_dict` output.
+
+        Raises
+        ------
+        ValueError
+            For unknown fields or an unknown ``status`` value (a record
+            written by a different schema must not silently round-trip).
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown JobRecord fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 def reports_equivalent(a: RunReport, b: RunReport) -> bool:

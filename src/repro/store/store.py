@@ -17,15 +17,20 @@ so the run is simply recomputed.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
 import os
+import tempfile
 import typing
 
 import repro
 from repro.deploy.scenario import ScenarioConfig
 from repro.metrics.collector import RunReport
+from repro.store import codec as job_codec
 from repro.store import provenance
 from repro.store.codec import (
+    JobRecord,
+    JobStatus,
     StoreDecodeError,
     StoreEntry,
     StoreSchemaError,
@@ -35,22 +40,69 @@ from repro.store.codec import (
 from repro.store import keys
 from repro.store.keys import config_digest
 
-__all__ = ["ENV_VAR", "GcReport", "RunStore", "VerifyReport", "default_root"]
+__all__ = [
+    "ENV_VAR",
+    "ROOT_ENV_VAR",
+    "GcReport",
+    "JobStore",
+    "RunStore",
+    "VerifyReport",
+    "default_root",
+]
 
-#: Environment variable overriding the default store location.
+#: Environment variable overriding the default store location (legacy
+#: name; also what opts CLI caching in).
 ENV_VAR = "REPRO_STORE"
+
+#: Preferred environment variable naming a *shared* store root — the
+#: service, CI, and developers all point here without plumbing
+#: ``--store`` everywhere.  Takes precedence over :data:`ENV_VAR`; see
+#: ``docs/STORE.md`` for the full resolution order.
+ROOT_ENV_VAR = "REPRO_STORE_ROOT"
 
 _OBJECTS_DIR = "objects"
 _QUARANTINE_DIR = "quarantine"
+_JOBS_DIR = "jobs"
 _TMP_MARKER = ".tmp."
 
 
 def default_root() -> str:
-    """``$REPRO_STORE`` when set, else ``~/.cache/repro-sim``."""
-    configured = os.environ.get(ENV_VAR)
-    if configured:
-        return configured
+    """``$REPRO_STORE_ROOT``, else ``$REPRO_STORE``, else the user cache.
+
+    Precedence (documented in ``docs/STORE.md``): an explicit path
+    passed to :class:`RunStore` always wins; then ``REPRO_STORE_ROOT``
+    (the shared-store pointer); then the legacy ``REPRO_STORE``; then
+    ``~/.cache/repro-sim``.
+    """
+    for variable in (ROOT_ENV_VAR, ENV_VAR):
+        configured = os.environ.get(variable)
+        if configured:
+            return configured
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-sim")
+
+
+def _write_text_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* via a uniquely-named temp file + rename.
+
+    The temp file comes from :func:`tempfile.mkstemp` in the
+    destination directory, so concurrent writers of the *same* path —
+    two worker processes finishing the same digest, or two service
+    threads persisting one job record — can never interleave into one
+    temp file; the last ``os.replace`` wins atomically and every
+    intermediate state on disk is a complete document.
+    """
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    handle_fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f"{os.path.basename(path)}{_TMP_MARKER}"
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        _remove_quietly(tmp_path)
+        raise
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -78,6 +130,13 @@ class GcReport:
     removed_tmp: int
     quarantined: int
     kept: int
+    #: Intact current-schema entries evicted (oldest first) to respect
+    #: the ``max_bytes`` / ``max_entries`` caps.
+    evicted: int = 0
+    #: Job records dropped because their result entry is gone.
+    removed_jobs: int = 0
+    #: Bytes of object files surviving the pass.
+    kept_bytes: int = 0
 
 
 class RunStore:
@@ -99,6 +158,14 @@ class RunStore:
         )
         #: ``(path, reason)`` of entries quarantined by this instance.
         self.quarantined: typing.List[typing.Tuple[str, str]] = []
+
+    @staticmethod
+    def default_root() -> str:
+        """Resolution of the implicit store root; see :func:`default_root`.
+
+        ``REPRO_STORE_ROOT`` → ``REPRO_STORE`` → ``~/.cache/repro-sim``.
+        """
+        return default_root()
 
     # ------------------------------------------------------------------
     # Paths
@@ -173,12 +240,7 @@ class RunStore:
             "description": config.describe(),
         }
         text = encode_entry(config, report, manifest)
-        path = self.object_path(digest)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp_path = f"{path}{_TMP_MARKER}{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        os.replace(tmp_path, path)
+        _write_text_atomic(self.object_path(digest), text)
         return digest
 
     # ------------------------------------------------------------------
@@ -230,13 +292,47 @@ class RunStore:
             corrupt=tuple(corrupt),
         )
 
-    def gc(self) -> GcReport:
-        """Remove temp leftovers and stale-schema entries.
+    def size_stats(self) -> typing.Tuple[int, int]:
+        """``(entries, total_bytes)`` of the object files on disk.
+
+        A pure directory walk — nothing is decoded or validated, so it
+        is cheap enough for a service stats endpoint to call per
+        request.
+        """
+        entries = 0
+        total_bytes = 0
+        for path in self._object_files():
+            name = os.path.basename(path)
+            if not name.endswith(".json") or _TMP_MARKER in name:
+                continue
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        return entries, total_bytes
+
+    def gc(
+        self,
+        max_bytes: typing.Optional[int] = None,
+        max_entries: typing.Optional[int] = None,
+    ) -> GcReport:
+        """Remove temp leftovers, stale entries, and (optionally) evict.
 
         Corrupt entries are quarantined (kept for inspection) rather
-        than deleted; intact entries under the current schema are kept.
+        than deleted; intact entries under the current schema are kept —
+        unless ``max_bytes`` / ``max_entries`` caps are given, in which
+        case the **oldest** surviving entries (by their manifest
+        ``created_unix``, digest as tiebreak) are evicted until both
+        caps hold.  Job records whose result entry is gone (evicted,
+        stale, or quarantined) are dropped too, except records of jobs
+        still queued, running, or failed.
         """
-        removed_stale = removed_tmp = quarantined = kept = 0
+        removed_stale = removed_tmp = quarantined = 0
+        #: ``(created_unix, digest, path, bytes)`` of survivors.
+        survivors: typing.List[
+            typing.Tuple[float, str, str, int]
+        ] = []
         for path in list(self._object_files()):
             name = os.path.basename(path)
             if _TMP_MARKER in name:
@@ -246,20 +342,68 @@ class RunStore:
             expected = name[: -len(".json")] if name.endswith(".json") else None
             try:
                 with open(path, "r", encoding="utf-8") as handle:
-                    decode_entry(handle.read(), expected_digest=expected)
-                kept += 1
+                    text = handle.read()
+                entry = decode_entry(text, expected_digest=expected)
             except StoreSchemaError:
                 _remove_quietly(path)
                 removed_stale += 1
             except (OSError, StoreDecodeError) as error:
                 self._quarantine(path, str(error))
                 quarantined += 1
+            else:
+                created = entry.manifest.get("created_unix")
+                if not isinstance(created, (int, float)) or math.isnan(
+                    float(created)
+                ):
+                    created = 0.0
+                survivors.append(
+                    (float(created), entry.digest, path, len(text))
+                )
+
+        survivors.sort()  # oldest first, digest as the tiebreak
+        kept_bytes = sum(size for _, _, _, size in survivors)
+        evicted = 0
+        while survivors and (
+            (max_entries is not None and len(survivors) > max_entries)
+            or (max_bytes is not None and kept_bytes > max_bytes)
+        ):
+            _, digest, path, size = survivors.pop(0)
+            _remove_quietly(path)
+            _remove_quietly(_job_path(self.root, digest))
+            kept_bytes -= size
+            evicted += 1
+
+        removed_jobs = self._gc_job_records(
+            {digest for _, digest, _, _ in survivors}
+        )
         return GcReport(
             removed_stale=removed_stale,
             removed_tmp=removed_tmp,
             quarantined=quarantined,
-            kept=kept,
+            kept=len(survivors),
+            evicted=evicted,
+            removed_jobs=removed_jobs,
+            kept_bytes=kept_bytes,
         )
+
+    def _gc_job_records(self, live_digests: typing.Set[str]) -> int:
+        """Drop job records whose result entry no longer exists.
+
+        Records of jobs that have not produced a result *by design* —
+        still queued, running, or failed — are preserved; only ``done``
+        records orphaned by eviction/stale-removal (plus unreadable
+        ones) go.
+        """
+        jobs = JobStore(self.root)
+        removed = 0
+        for digest in jobs.digests():
+            if digest in live_digests:
+                continue
+            record = jobs.load(digest)
+            if record is None or record.status == JobStatus.DONE:
+                _remove_quietly(jobs.path(digest))
+                removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Internals
@@ -277,6 +421,87 @@ class RunStore:
         except OSError:
             return  # lost a race with another process; nothing to move
         self.quarantined.append((target, reason))
+
+
+def _job_path(root: str, digest: str) -> str:
+    """On-disk path of the job record for *digest* under *root*."""
+    return os.path.join(root, _JOBS_DIR, digest[:2], f"{digest}.json")
+
+
+class JobStore:
+    """Persisted :class:`~repro.store.codec.JobRecord`s beside the objects.
+
+    Shares the :class:`RunStore` root (``jobs/<aa>/<digest>.json``
+    shards mirroring ``objects/``), so the job state of a digest always
+    travels with its result.  Records are advisory bookkeeping: a
+    missing, unreadable, or differently-versioned record reads as
+    ``None`` and the caller re-derives state from the store entry (or
+    re-runs the job) — job records are never load-bearing for results.
+    """
+
+    def __init__(
+        self, root: typing.Optional[typing.Union[str, os.PathLike]] = None
+    ) -> None:
+        self.root = os.path.abspath(
+            os.fspath(root) if root is not None else default_root()
+        )
+
+    def path(self, digest: str) -> str:
+        """On-disk path of the record addressed by *digest*."""
+        return _job_path(self.root, digest)
+
+    def load(self, digest: str) -> typing.Optional[JobRecord]:
+        """The record for *digest*, or ``None``.
+
+        ``None`` covers missing files, unparseable JSON, unknown
+        fields/statuses, and records written under a different
+        :data:`~repro.store.codec.JOB_SCHEMA_VERSION` — all read as
+        "no job state" rather than an error.
+        """
+        try:
+            with open(self.path(digest), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            record = JobRecord.from_json_dict(data)
+        except (TypeError, ValueError):
+            return None
+        if record.schema != job_codec.JOB_SCHEMA_VERSION:
+            return None
+        return record
+
+    def save(self, record: JobRecord) -> str:
+        """Atomically persist *record*; returns its path."""
+        path = self.path(record.digest)
+        _write_text_atomic(
+            path,
+            json.dumps(record.to_json_dict(), sort_keys=True, indent=1)
+            + "\n",
+        )
+        return path
+
+    def digests(self) -> typing.List[str]:
+        """All digests with a job-record file, sorted."""
+        jobs_dir = os.path.join(self.root, _JOBS_DIR)
+        if not os.path.isdir(jobs_dir):
+            return []
+        found = []
+        for shard in sorted(os.listdir(jobs_dir)):
+            shard_path = os.path.join(jobs_dir, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                if name.endswith(".json") and _TMP_MARKER not in name:
+                    found.append(name[: -len(".json")])
+        return found
+
+    def records(self) -> typing.List[JobRecord]:
+        """Every readable record, sorted by digest."""
+        loaded = (self.load(digest) for digest in self.digests())
+        return [record for record in loaded if record is not None]
 
 
 def _remove_quietly(path: str) -> None:

@@ -1,0 +1,249 @@
+"""Unit tests for the HTTP API layer (repro.service.api + client).
+
+Each fixture starts a real ``ServiceServer`` on an ephemeral port with
+a thread-backed worker pool, so requests cross a genuine socket but no
+processes are spawned and no real simulation runs.
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.cli import build_parser
+from repro.deploy.scenario import Algorithm, paper_scenario
+from repro.metrics import RunReport
+from repro.service import JobQueue, ServiceClient, WorkerPool, serve
+from repro.service.client import ServiceError
+from repro.store import RunStore, config_digest
+
+
+def make_report(description="fixed | test"):
+    return RunReport(
+        description=description,
+        failures=5,
+        detected=5,
+        reported=4,
+        repaired=3,
+        mean_travel_distance=82.5,
+        mean_repair_latency=130.25,
+        mean_report_hops=2.4,
+        mean_request_hops=float("nan"),
+        update_transmissions_per_failure=101.5,
+        report_delivery_ratio=1.0,
+        total_robot_distance=412.0,
+        transmissions_by_category={"beacon": 100},
+        routing_snapshot={},
+    )
+
+
+CONFIG = paper_scenario(Algorithm.FIXED, 4, seed=3, sim_time_s=2_000.0)
+
+
+def instant_runner(config, store_root):
+    return make_report(config.describe()), 0.25, "pid-test"
+
+
+@pytest.fixture
+def service(tmp_path):
+    """(client, queue, store) against a live ephemeral-port server."""
+    store = RunStore(tmp_path)
+    pool = WorkerPool(
+        workers=2,
+        runner=instant_runner,
+        executor=concurrent.futures.ThreadPoolExecutor(2),
+    )
+    queue = JobQueue(store, pool=pool)
+    server = serve(queue=queue, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServiceClient(port=server.port), queue, store
+    server.shutdown()
+    server.server_close()
+    queue.shutdown(wait=True)
+
+
+class TestHealthAndStats:
+    def test_healthz(self, service):
+        client, _queue, _store = service
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 2
+
+    def test_store_stats(self, service):
+        client, _queue, store = service
+        store.put(CONFIG, make_report())
+        client.submit(CONFIG.to_json_dict())  # a hit
+        stats = client.stats()
+        assert stats["entries"] == 1
+        assert stats["counters"]["hits"] == 1
+        assert stats["root"] == store.root
+
+
+class TestSubmit:
+    def test_submit_and_wait_round_trip(self, service):
+        client, _queue, _store = service
+        out = client.submit(CONFIG.to_json_dict())
+        assert out["digest"] == config_digest(CONFIG)
+        assert out["url"] == f"/v1/runs/{out['digest']}"
+        job = client.wait(out["digest"], timeout_s=10)
+        assert job["job"]["status"] == "done"
+        assert job["report"]["failures"] == 5
+        assert job["config"]["seed"] == CONFIG.seed
+
+    def test_submit_accepts_bare_config_document(self, service):
+        client, _queue, _store = service
+        out = client._request("POST", "/v1/runs", body=CONFIG.to_json_dict())
+        assert out["digest"] == config_digest(CONFIG)
+
+    def test_cached_submit_returns_200_and_cached_flag(self, service):
+        client, _queue, store = service
+        store.put(CONFIG, make_report())
+        out = client.submit(CONFIG.to_json_dict())
+        assert out["cached"] is True
+        assert out["status"] == "done"
+
+    def test_concurrent_identical_submits_execute_once(self, service):
+        client, queue, _store = service
+        body = CONFIG.to_json_dict()
+        with concurrent.futures.ThreadPoolExecutor(4) as pool:
+            outs = [
+                future.result()
+                for future in [
+                    pool.submit(client.submit, body) for _ in range(4)
+                ]
+            ]
+        digests = {out["digest"] for out in outs}
+        assert len(digests) == 1
+        client.wait(digests.pop(), timeout_s=10)
+        assert queue.counters.executed == 1
+        assert queue.counters.misses == 1
+        assert (
+            queue.counters.coalesced + queue.counters.hits == 3
+        )  # every other submission was deduplicated
+
+    def test_invalid_json_is_400(self, service):
+        client, _queue, _store = service
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            client.host, client.port, timeout=10
+        )
+        connection.request(
+            "POST", "/v1/runs", body=b"{nope",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        response.read()
+        connection.close()
+
+    def test_invalid_config_is_400(self, service):
+        client, _queue, _store = service
+        with pytest.raises(ServiceError) as exc:
+            client.submit({"bogus_field": 1})
+        assert exc.value.code == 400
+        assert "invalid scenario config" in str(exc.value)
+
+
+class TestGetRun:
+    def test_unknown_digest_is_404(self, service):
+        client, _queue, _store = service
+        with pytest.raises(ServiceError) as exc:
+            client.job("0" * 64)
+        assert exc.value.code == 404
+
+    def test_malformed_digest_path_is_404(self, service):
+        client, _queue, _store = service
+        with pytest.raises(ServiceError) as exc:
+            client._request("GET", "/v1/runs/nothex")
+        assert exc.value.code == 404
+
+    def test_listing_filters_by_status(self, service):
+        client, _queue, _store = service
+        out = client.submit(CONFIG.to_json_dict())
+        client.wait(out["digest"], timeout_s=10)
+        listing = client.jobs(status="done")
+        assert listing["count"] == 1
+        assert listing["runs"][0]["digest"] == out["digest"]
+        assert client.jobs(status="failed")["count"] == 0
+
+    def test_listing_respects_limit(self, service):
+        client, _queue, _store = service
+        for seed in (1, 2, 3):
+            out = client.submit(CONFIG.replace(seed=seed).to_json_dict())
+            client.wait(out["digest"], timeout_s=10)
+        assert client.jobs(limit=2)["count"] == 2
+
+
+class TestExportEndpoint:
+    def test_export_finished_run(self, service):
+        client, _queue, _store = service
+        out = client.submit(CONFIG.to_json_dict())
+        client.wait(out["digest"], timeout_s=10)
+        document = client.export(out["digest"])
+        assert document["digest"] == out["digest"]
+        assert document["scenario"]["algorithm"] == Algorithm.FIXED
+        # strict JSON: the NaN metric arrives as null/None
+        assert document["headline"]["mean_request_hops"] is None
+
+    def test_export_unknown_digest_is_404(self, service):
+        client, _queue, _store = service
+        with pytest.raises(ServiceError) as exc:
+            client.export("0" * 64)
+        assert exc.value.code == 404
+
+    def test_export_unfinished_run_is_409(self, tmp_path):
+        gate = threading.Event()
+
+        def blocked_runner(config, store_root):
+            assert gate.wait(10)
+            return make_report(), 0.1, "pid-test"
+
+        pool = WorkerPool(
+            workers=1,
+            runner=blocked_runner,
+            executor=concurrent.futures.ThreadPoolExecutor(1),
+        )
+        queue = JobQueue(RunStore(tmp_path), pool=pool)
+        server = serve(queue=queue, quiet=True)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(port=server.port)
+        try:
+            out = client.submit(CONFIG.to_json_dict())
+            with pytest.raises(ServiceError) as exc:
+                client.export(out["digest"])
+            assert exc.value.code == 409
+        finally:
+            gate.set()
+            client.wait(config_digest(CONFIG), timeout_s=10)
+            server.shutdown()
+            server.server_close()
+            queue.shutdown(wait=True)
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8373
+        assert args.workers == 2
+        assert not args.quiet
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "5", "--quiet",
+             "--store", "/tmp/x"]
+        )
+        assert args.port == 0
+        assert args.workers == 5
+        assert args.quiet
+        assert args.store == "/tmp/x"
+
+    def test_export_parser(self):
+        args = build_parser().parse_args(["export", "abc", "def"])
+        assert args.command == "export"
+        assert args.digests == ["abc", "def"]
+        assert args.output == "-"
+        assert not args.all

@@ -1,0 +1,156 @@
+"""Unit tests for the static JSON export (repro.service.export)."""
+
+import json
+
+import pytest
+
+from repro.deploy.scenario import Algorithm, paper_scenario
+from repro.metrics import RunReport
+from repro.cli import main
+from repro.service.export import (
+    EXPORT_SCHEMA_VERSION,
+    SERIES_METRICS,
+    export_entry,
+    export_runs,
+)
+from repro.store import RunStore
+
+
+def make_report(description="fixed | test", **changes):
+    fields = dict(
+        description=description,
+        failures=5,
+        detected=5,
+        reported=4,
+        repaired=3,
+        mean_travel_distance=82.5,
+        mean_repair_latency=130.25,
+        mean_report_hops=2.4,
+        mean_request_hops=float("nan"),
+        update_transmissions_per_failure=101.5,
+        report_delivery_ratio=1.0,
+        total_robot_distance=412.0,
+        transmissions_by_category={"beacon": 100},
+        routing_snapshot={},
+    )
+    fields.update(changes)
+    return RunReport(**fields)
+
+
+CONFIG = paper_scenario(Algorithm.FIXED, 4, seed=3, sim_time_s=2_000.0)
+
+
+@pytest.fixture
+def entry(tmp_path):
+    store = RunStore(tmp_path)
+    digest = store.put(CONFIG, make_report(), duration_s=1.25)
+    return store.load(digest)
+
+
+class TestExportEntry:
+    def test_document_shape(self, entry):
+        document = export_entry(entry)
+        assert document["schema"] == EXPORT_SCHEMA_VERSION
+        assert document["digest"] == entry.digest
+        assert document["scenario"]["algorithm"] == Algorithm.FIXED
+        assert document["scenario"]["robot_count"] == 4
+        assert document["scenario"]["seed"] == 3
+        assert document["headline"]["repaired"] == 3
+        assert document["transmissions_by_category"] == {"beacon": 100}
+        assert document["provenance"]["duration_s"] == 1.25
+        assert "faults" in document and "verification" in document
+
+    def test_non_finite_floats_become_null(self, entry):
+        document = export_entry(entry)
+        # make_report sets mean_request_hops to NaN
+        assert document["headline"]["mean_request_hops"] is None
+
+    def test_strict_json_serializable(self, entry):
+        text = json.dumps(export_entry(entry), allow_nan=False)
+        assert "NaN" not in text
+        json.loads(text)
+
+    def test_headline_covers_series_metrics(self, entry):
+        headline = export_entry(entry)["headline"]
+        for metric in SERIES_METRICS:
+            assert metric in headline
+
+
+class TestExportRuns:
+    def test_series_averages_replicates(self, tmp_path):
+        store = RunStore(tmp_path)
+        # two seeds at 4 robots + one run at 9 robots, same algorithm
+        for seed, robots, travel in ((1, 4, 10.0), (2, 4, 30.0), (1, 9, 7.0)):
+            config = paper_scenario(
+                Algorithm.FIXED, robots, seed=seed, sim_time_s=2_000.0
+            )
+            store.put(config, make_report(mean_travel_distance=travel))
+        document = export_runs(store.entries())
+        assert document["count"] == 3
+        series = document["series"][Algorithm.FIXED]
+        assert series["mean_travel_distance_m"] == [
+            [4.0, 20.0],  # mean of 10 and 30
+            [9.0, 7.0],
+        ]
+
+    def test_algorithms_grouped_separately(self, tmp_path):
+        store = RunStore(tmp_path)
+        for algorithm in (Algorithm.FIXED, Algorithm.DYNAMIC):
+            config = paper_scenario(algorithm, 4, seed=1, sim_time_s=2_000.0)
+            store.put(config, make_report())
+        document = export_runs(store.entries())
+        assert set(document["series"]) == {Algorithm.FIXED, Algorithm.DYNAMIC}
+
+    def test_runs_sorted_by_digest(self, tmp_path):
+        store = RunStore(tmp_path)
+        for seed in (5, 1, 3):
+            store.put(CONFIG.replace(seed=seed), make_report())
+        document = export_runs(store.entries())
+        digests = [run["digest"] for run in document["runs"]]
+        assert digests == sorted(digests)
+
+    def test_empty_store_exports_empty_document(self):
+        document = export_runs([])
+        assert document["count"] == 0
+        assert document["runs"] == []
+        assert document["series"] == {}
+
+
+class TestExportCli:
+    def test_export_all_to_file(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        output = tmp_path / "dash.json"
+        store = RunStore(store_dir)
+        for seed in (1, 2):
+            store.put(CONFIG.replace(seed=seed), make_report())
+        code = main(
+            ["export", "--all", "--store", str(store_dir),
+             "--output", str(output)]
+        )
+        assert code == 0
+        text = output.read_text(encoding="utf-8")
+        assert "NaN" not in text  # strict JSON on disk
+        document = json.loads(text)
+        assert document["count"] == 2
+        assert "wrote 2 run(s)" in capsys.readouterr().err
+
+    def test_export_digest_prefix_to_stdout(self, tmp_path, capsys):
+        store = RunStore(tmp_path)
+        digest = store.put(CONFIG, make_report())
+        code = main(["export", digest[:10], "--store", str(tmp_path)])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["digest"] == digest
+
+    def test_export_without_selection_errors(self, tmp_path, capsys):
+        code = main(["export", "--store", str(tmp_path)])
+        assert code == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_export_ambiguous_prefix_errors(self, tmp_path, capsys):
+        store = RunStore(tmp_path)
+        for seed in range(1, 9):
+            store.put(CONFIG.replace(seed=seed), make_report())
+        code = main(["export", "", "--store", str(tmp_path)])
+        assert code == 2
+        assert "matches" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Unit tests for JobRecord serialization and the on-disk JobStore."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.store import (
+    JOB_SCHEMA_VERSION,
+    JobRecord,
+    JobStatus,
+    JobStore,
+)
+from repro.store import codec as store_codec
+
+
+def make_record(**changes):
+    """A fully populated JobRecord (every field non-default)."""
+    fields = dict(
+        digest="ab" * 32,
+        status=JobStatus.DONE,
+        schema=JOB_SCHEMA_VERSION,
+        submitted_unix=1_700_000_000.0,
+        started_unix=1_700_000_001.5,
+        finished_unix=1_700_000_003.25,
+        duration_s=1.75,
+        worker="pid-4242",
+        error=None,
+        submissions=3,
+        source="api",
+        description="fixed | 4 robots",
+    )
+    fields.update(changes)
+    return JobRecord(**fields)
+
+
+class TestJobRecordRoundTrip:
+    def test_round_trip_field_for_field(self):
+        record = make_record()
+        again = JobRecord.from_json_dict(record.to_json_dict())
+        assert again == record
+
+    def test_round_trip_covers_every_field(self):
+        # R9's contract: to_json_dict must emit every dataclass field,
+        # so schema drift (a new field without serialization) fails here.
+        document = make_record().to_json_dict()
+        names = {field.name for field in dataclasses.fields(JobRecord)}
+        assert set(document) == names
+
+    def test_round_trip_through_json_text(self):
+        record = make_record(error="boom", status=JobStatus.FAILED)
+        text = json.dumps(record.to_json_dict())
+        assert JobRecord.from_json_dict(json.loads(text)) == record
+
+    def test_nan_duration_survives(self):
+        record = make_record(duration_s=math.nan)
+        again = JobRecord.from_json_dict(record.to_json_dict())
+        assert math.isnan(again.duration_s)
+
+    def test_defaults_round_trip(self):
+        record = JobRecord(digest="cd" * 32)
+        again = JobRecord.from_json_dict(record.to_json_dict())
+        assert again == record
+        assert again.status == JobStatus.QUEUED
+        assert math.isnan(again.duration_s)
+
+
+class TestJobRecordValidation:
+    def test_unknown_status_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown job status"):
+            JobRecord(digest="ab" * 32, status="exploded")
+
+    def test_unknown_status_rejected_from_json(self):
+        document = make_record().to_json_dict()
+        document["status"] = "exploded"
+        with pytest.raises(ValueError, match="unknown job status"):
+            JobRecord.from_json_dict(document)
+
+    def test_unknown_field_rejected(self):
+        document = make_record().to_json_dict()
+        document["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            JobRecord.from_json_dict(document)
+
+    def test_zero_submissions_rejected(self):
+        with pytest.raises(ValueError, match="submissions"):
+            make_record(submissions=0)
+
+    def test_terminal_property(self):
+        assert make_record(status=JobStatus.DONE).terminal
+        assert make_record(status=JobStatus.FAILED, error="x").terminal
+        assert not make_record(status=JobStatus.QUEUED).terminal
+        assert not make_record(status=JobStatus.RUNNING).terminal
+
+
+class TestJobStore:
+    def test_save_then_load(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        record = make_record()
+        jobs.save(record)
+        assert jobs.load(record.digest) == record
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert JobStore(tmp_path).load("ab" * 32) is None
+
+    def test_sharded_layout(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        record = make_record()
+        jobs.save(record)
+        path = jobs.path(record.digest)
+        assert path.endswith(f"jobs/ab/{record.digest}.json")
+
+    def test_corrupt_record_reads_as_none(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        record = make_record()
+        jobs.save(record)
+        with open(jobs.path(record.digest), "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert jobs.load(record.digest) is None
+
+    def test_unknown_field_on_disk_reads_as_none(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        record = make_record()
+        jobs.save(record)
+        document = record.to_json_dict()
+        document["from_the_future"] = True
+        with open(jobs.path(record.digest), "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+        assert jobs.load(record.digest) is None
+
+    def test_schema_bump_invalidates_old_records(self, tmp_path, monkeypatch):
+        jobs = JobStore(tmp_path)
+        record = make_record()
+        jobs.save(record)
+        monkeypatch.setattr(
+            store_codec, "JOB_SCHEMA_VERSION", JOB_SCHEMA_VERSION + 1
+        )
+        assert jobs.load(record.digest) is None
+
+    def test_digests_and_records_sorted(self, tmp_path):
+        jobs = JobStore(tmp_path)
+        for prefix in ("ef", "ab", "cd"):
+            jobs.save(make_record(digest=prefix * 32))
+        digests = jobs.digests()
+        assert digests == sorted(digests)
+        assert [r.digest for r in jobs.records()] == digests
