@@ -295,6 +295,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-request access logging",
     )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="automatic re-executions of a failed-retryable job "
+        "(default: 2; 0 disables retries)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cancel and requeue an execution running longer than this "
+        "(default: no per-job timeout)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject new executions with 503 + Retry-After once N "
+        "digests are in flight (default: uncapped)",
+    )
 
     export = commands.add_parser(
         "export",
@@ -941,15 +965,21 @@ def _command_store(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     """Run the HTTP job API until interrupted."""
-    from repro.service import serve
+    from repro.service import RetryPolicy, serve
 
     store = RunStore(args.store)
+    policy = RetryPolicy(
+        max_retries=max(0, args.max_retries),
+        job_timeout_s=args.job_timeout,
+        queue_depth=args.queue_depth,
+    )
     server = serve(
         store=store,
         host=args.host,
         port=args.port,
         workers=args.workers,
         quiet=args.quiet,
+        policy=policy,
     )
     # The announced line is machine-read by the CI smoke job (and by
     # anyone scripting against --port 0), so keep it one flushed line.

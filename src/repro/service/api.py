@@ -15,11 +15,21 @@ A :class:`ThreadingHTTPServer` whose handler threads talk to one shared
   dashboard document (:mod:`repro.service.export`).
 * ``GET /v1/store/stats`` — hit/miss/coalesce counters + store
   entry count and byte footprint.
-* ``GET /healthz`` — liveness.
+* ``GET /v1/service/stats`` — execution-health counters (retries,
+  timeouts, pool rebuilds, rejections), the retry policy, and pool
+  supervision state.
+* ``GET /healthz`` — liveness (``degraded`` while the pool is broken).
 
 Responses are JSON throughout.  Job/report payloads may contain
 Python-style ``NaN`` literals (lossless for the bundled client); the
 ``/export`` documents are strict JSON with ``null`` instead.
+
+Graceful degradation (``docs/SERVICE.md`` "Failure semantics"): a
+submission the queue cannot take — depth cap reached, worker pool
+broken beyond rebuilding, shutdown in progress — is answered with
+``503`` plus a ``Retry-After`` header, never a ``500``.  By default
+``serve`` builds a :class:`~repro.service.resilience.SupervisedQueue`
+and reconciles stale job records before accepting traffic.
 """
 
 from __future__ import annotations
@@ -33,7 +43,12 @@ import urllib.parse
 
 from repro.deploy.scenario import ScenarioConfig
 from repro.service.export import export_entry
-from repro.service.queue import JobQueue
+from repro.service.queue import JobQueue, ServiceUnavailable
+from repro.service.resilience import (
+    RetryPolicy,
+    SupervisedQueue,
+    reconcile_queue,
+)
 from repro.store import JobStatus, RunStore
 
 __all__ = ["ServiceHandler", "ServiceServer", "serve"]
@@ -93,6 +108,14 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            self._route_get()
+        except Exception as error:
+            # The degradation contract: the only 5xx this server emits
+            # is a retryable 503 (docs/SERVICE.md, failure semantics).
+            self._send_unavailable(f"handler failure: {error}")
+
+    def _route_get(self) -> None:
         split = urllib.parse.urlsplit(self.path)
         query = urllib.parse.parse_qs(split.query)
         path = split.path
@@ -102,6 +125,8 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
             self._get_runs(query)
         elif path == "/v1/store/stats":
             self._send_json(200, self.queue.stats())
+        elif path == "/v1/service/stats":
+            self._send_json(200, self.queue.service_stats())
         else:
             match = _RUN_PATH.match(path)
             if match is None:
@@ -112,20 +137,24 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
                 self._get_run(match.group("digest"), query)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        path = urllib.parse.urlsplit(self.path).path
-        if path != "/v1/runs":
-            self._send_error(404, f"no such resource: {path}")
-            return
-        self._post_run()
+        try:
+            path = urllib.parse.urlsplit(self.path).path
+            if path != "/v1/runs":
+                self._send_error(404, f"no such resource: {path}")
+                return
+            self._post_run()
+        except Exception as error:
+            self._send_unavailable(f"handler failure: {error}")
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def _get_health(self) -> None:
+        broken = bool(getattr(self.queue.pool, "broken", False))
         self._send_json(
             200,
             {
-                "status": "ok",
+                "status": "degraded" if broken else "ok",
                 "workers": self.queue.pool.workers,
                 "inflight": self.queue.inflight_count(),
             },
@@ -150,7 +179,11 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
         except (TypeError, ValueError) as error:
             self._send_error(400, f"invalid scenario config: {error}")
             return
-        outcome = self.queue.submit(config, source="api")
+        try:
+            outcome = self.queue.submit(config, source="api")
+        except ServiceUnavailable as error:
+            self._send_unavailable(str(error), error.retry_after_s)
+            return
         record = outcome.record
         self._send_json(
             200 if record.terminal else 202,
@@ -248,6 +281,7 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
         code: int,
         payload: typing.Mapping[str, typing.Any],
         strict: bool = False,
+        headers: typing.Optional[typing.Mapping[str, str]] = None,
     ) -> None:
         text = json.dumps(
             payload, sort_keys=True, indent=1, allow_nan=not strict
@@ -256,11 +290,38 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, code: int, message: str) -> None:
         self._send_json(code, {"error": message, "code": code})
+
+    def _send_unavailable(
+        self, message: str, retry_after_s: float = 1.0
+    ) -> None:
+        """The documented 503: overloaded/broken/shutting down, not lost.
+
+        Carries ``Retry-After`` (whole seconds, rounded up) so clients
+        — including the bundled :class:`ServiceClient` — know when to
+        come back.  Best-effort: a half-written or torn-down connection
+        must not raise out of the handler.
+        """
+        retry_after = max(1, int(-(-retry_after_s // 1)))
+        try:
+            self._send_json(
+                503,
+                {
+                    "error": message,
+                    "code": 503,
+                    "retry_after_s": retry_after,
+                },
+                headers={"Retry-After": str(retry_after)},
+            )
+        except OSError:
+            pass
 
     def log_message(self, format: str, *args: typing.Any) -> None:
         """Default request logging, silenced under ``quiet``."""
@@ -275,6 +336,8 @@ def serve(
     workers: int = 2,
     quiet: bool = False,
     queue: typing.Optional[JobQueue] = None,
+    policy: typing.Optional[RetryPolicy] = None,
+    reconcile: bool = True,
 ) -> ServiceServer:
     """Build a ready-to-run server (not yet serving).
 
@@ -282,10 +345,23 @@ def serve(
     :attr:`ServiceServer.port`.  The caller owns the loop: call
     ``serve_forever()`` (blocking) or run it in a thread, and pair
     ``server.shutdown()`` with ``server.queue.shutdown()`` on exit.
+
+    Without an explicit *queue*, a
+    :class:`~repro.service.resilience.SupervisedQueue` is built with
+    *policy* (default :class:`RetryPolicy`), so retries, timeouts, and
+    pool supervision are on out of the box.  Unless *reconcile* is
+    False, stale non-terminal job records from a previous server life
+    are settled to ``failed`` ("server restart") before the socket
+    binds — i.e. before the API accepts any traffic.
     """
     if queue is None:
-        queue = JobQueue(store if store is not None else RunStore(),
-                         workers=workers)
+        queue = SupervisedQueue(
+            store if store is not None else RunStore(),
+            policy=policy,
+            workers=workers,
+        )
+    if reconcile:
+        reconcile_queue(queue)
     try:
         return ServiceServer((host, port), queue, quiet=quiet)
     except socket.error:

@@ -1,6 +1,6 @@
 """A minimal stdlib HTTP client for the service API.
 
-Used by the test-suite and the CI smoke job; handy interactively too::
+Used by the test-suite and the CI smoke jobs; handy interactively too::
 
     from repro.service.client import ServiceClient
     client = ServiceClient("127.0.0.1", 8373)
@@ -12,16 +12,39 @@ One :class:`http.client.HTTPConnection` per request — boring, correct,
 and thread-safe by construction.  Non-2xx responses raise
 :class:`ServiceError` carrying the status code and the server's JSON
 error body.
+
+The client participates in the service's failure semantics
+(``docs/SERVICE.md``): transport failures (connection refused/reset,
+timeouts, a server torn down mid-response) are retried up to
+``retries`` times with bounded exponential backoff, and a ``503``
+answer is retried after honoring the server's ``Retry-After`` header.
+Retrying a ``POST /v1/runs`` is always safe — submissions are
+idempotent by content digest (single-flight dedup).  Every call may
+override the connection timeout via ``timeout_s``.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 import typing
 import urllib.parse
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: Transport-level failures worth retrying: the request may never have
+#: reached the server (refused, reset, torn down mid-handshake) or the
+#: server went away mid-response.  ``OSError`` covers connection
+#: errors and socket timeouts; ``HTTPException`` covers
+#: ``RemoteDisconnected``/``BadStatusLine`` during a server restart.
+_TRANSPORT_ERRORS: typing.Tuple[typing.Type[BaseException], ...] = (
+    OSError,
+    http.client.HTTPException,
+)
+
+#: Sanity cap on honoring a server-sent ``Retry-After`` value.
+_MAX_RETRY_AFTER_S = 30.0
 
 
 class ServiceError(Exception):
@@ -35,17 +58,41 @@ class ServiceError(Exception):
         detail = self.payload.get("error", "")
         super().__init__(f"HTTP {code}: {detail}")
 
+    @property
+    def retry_after_s(self) -> typing.Optional[float]:
+        """The server's suggested back-off, when it sent one."""
+        value = self.payload.get("retry_after_s")
+        if isinstance(value, (int, float)):
+            return float(value)
+        return None
+
 
 class ServiceClient:
-    """Talk JSON to one running :class:`~repro.service.api.ServiceServer`."""
+    """Talk JSON to one running :class:`~repro.service.api.ServiceServer`.
+
+    *retries* bounds re-attempts per call (0 disables); the delay
+    before attempt ``n`` is ``backoff_base_s * 2**(n-1)`` capped at
+    ``backoff_max_s``, except after a ``503``, where the server's
+    ``Retry-After`` wins.  *sleep* is injectable for tests.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8373,
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8373,
         timeout_s: float = 120.0,
+        retries: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_max_s: float = 4.0,
+        sleep: typing.Optional[typing.Callable[[float], None]] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self._sleep = sleep if sleep is not None else time.sleep
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -61,17 +108,30 @@ class ServiceClient:
         return self._request("POST", "/v1/runs", body={"config": config})
 
     def job(
-        self, digest: str, wait_s: typing.Optional[float] = None
+        self,
+        digest: str,
+        wait_s: typing.Optional[float] = None,
+        timeout_s: typing.Optional[float] = None,
     ) -> typing.Dict[str, typing.Any]:
         """``GET /v1/runs/<digest>``, optionally long-polling."""
         query = {"wait": f"{wait_s:g}"} if wait_s is not None else None
-        return self._request("GET", f"/v1/runs/{digest}", query=query)
+        return self._request(
+            "GET", f"/v1/runs/{digest}", query=query, timeout_s=timeout_s
+        )
 
     def wait(
         self, digest: str, timeout_s: float = 60.0
     ) -> typing.Dict[str, typing.Any]:
-        """Long-poll until *digest* settles; returns the job payload."""
-        return self.job(digest, wait_s=timeout_s)
+        """Long-poll until *digest* settles; returns the job payload.
+
+        The connection timeout stretches past the long-poll window so
+        a full-length wait is not misread as a dead server.
+        """
+        return self.job(
+            digest,
+            wait_s=timeout_s,
+            timeout_s=max(self.timeout_s, timeout_s + 10.0),
+        )
 
     def jobs(
         self,
@@ -90,6 +150,10 @@ class ServiceClient:
         """``GET /v1/store/stats``."""
         return self._request("GET", "/v1/store/stats")
 
+    def service_stats(self) -> typing.Dict[str, typing.Any]:
+        """``GET /v1/service/stats``."""
+        return self._request("GET", "/v1/service/stats")
+
     def export(self, digest: str) -> typing.Dict[str, typing.Any]:
         """``GET /v1/runs/<digest>/export`` (strict JSON document)."""
         return self._request("GET", f"/v1/runs/{digest}/export")
@@ -97,21 +161,59 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def _backoff_s(self, attempt: int) -> float:
+        """Delay before retry *attempt* (1-based), no server hint."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * 2.0 ** (attempt - 1),
+        )
+
     def _request(
         self,
         method: str,
         path: str,
         body: typing.Optional[typing.Mapping[str, typing.Any]] = None,
         query: typing.Optional[typing.Mapping[str, str]] = None,
+        timeout_s: typing.Optional[float] = None,
     ) -> typing.Dict[str, typing.Any]:
         if query:
             path = f"{path}?{urllib.parse.urlencode(query)}"
         payload = (
             json.dumps(body).encode("utf-8") if body is not None else None
         )
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload, timeout_s)
+            except ServiceError as error:
+                if error.code != 503 or attempt >= self.retries:
+                    raise
+                attempt += 1
+                hinted = error.retry_after_s
+                delay_s = (
+                    min(hinted, _MAX_RETRY_AFTER_S)
+                    if hinted is not None
+                    else self._backoff_s(attempt)
+                )
+                self._sleep(delay_s)
+            except _TRANSPORT_ERRORS:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self._sleep(self._backoff_s(attempt))
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: typing.Optional[bytes],
+        timeout_s: typing.Optional[float],
+    ) -> typing.Dict[str, typing.Any]:
         headers = {"Content-Type": "application/json"} if payload else {}
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
+            self.host,
+            self.port,
+            timeout=timeout_s if timeout_s is not None else self.timeout_s,
         )
         try:
             connection.request(method, path, body=payload, headers=headers)
@@ -128,5 +230,11 @@ class ServiceClient:
         if not isinstance(document, dict):
             document = {"value": document}
         if not 200 <= response.status < 300:
+            retry_after = response.getheader("Retry-After")
+            if retry_after is not None and "retry_after_s" not in document:
+                try:
+                    document["retry_after_s"] = float(retry_after)
+                except ValueError:
+                    pass
             raise ServiceError(response.status, document)
         return typing.cast(typing.Dict[str, typing.Any], document)

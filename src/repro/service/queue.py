@@ -14,9 +14,16 @@ whose digest
 Workers are separate *processes* (simulations are CPU-bound and the
 kernel holds the GIL tight), created from a ``spawn`` context so the
 multi-threaded HTTP parent never forks mid-lock.  Each worker marks the
-job record ``running`` with its own identity before simulating; the
-parent finishes the record (``done``/``failed``) and persists the
-result, so a crashed worker leaves a truthful trail on disk.
+job record ``running`` with its own identity before simulating and
+renews a lease timestamp while it runs; the parent finishes the record
+(``done``/``failed``) and persists the result, so a crashed worker
+leaves a truthful trail on disk.
+
+Failure handling is layered: this module settles every execution into
+a terminal record exactly once (including injected store IO errors on
+the result ``put``), and exposes the ``_retry_after_failure`` hook that
+:class:`repro.service.resilience.SupervisedQueue` overrides to retry
+failed-retryable jobs with deterministic backoff instead of settling.
 """
 
 from __future__ import annotations
@@ -34,11 +41,13 @@ from repro.experiments.runner import run_config_timed
 from repro.metrics.collector import RunReport
 from repro.store import JobRecord, JobStatus, JobStore, RunStore, StoreEntry
 from repro.store.keys import config_digest
-from repro.store.provenance import wall_clock
+from repro.store.provenance import perf_clock, wall_clock
 
 __all__ = [
     "JobQueue",
+    "QueueDepthExceeded",
     "ServiceCounters",
+    "ServiceUnavailable",
     "SubmitOutcome",
     "WorkerPool",
     "execute_job",
@@ -50,6 +59,25 @@ Runner = typing.Callable[
     [ScenarioConfig, str], typing.Tuple[RunReport, float, str]
 ]
 
+#: How often a worker re-stamps ``lease_unix`` on its running record.
+LEASE_INTERVAL_S = 1.0
+
+
+class ServiceUnavailable(Exception):
+    """The service cannot accept this submission right now (HTTP 503).
+
+    Carries the suggested client back-off so the API layer can answer
+    with a ``Retry-After`` header.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(reason)
+        self.retry_after_s = retry_after_s
+
+
+class QueueDepthExceeded(ServiceUnavailable):
+    """Submission rejected: the in-flight queue is at its depth cap."""
+
 
 def worker_identity() -> str:
     """Stable identity of the executing worker process."""
@@ -57,14 +85,18 @@ def worker_identity() -> str:
 
 
 def execute_job(
-    config: ScenarioConfig, store_root: str
+    config: ScenarioConfig,
+    store_root: str,
+    lease_interval_s: float = LEASE_INTERVAL_S,
 ) -> typing.Tuple[RunReport, float, str]:
     """Run one scenario in a worker process.
 
     Marks the persisted job record ``running`` (best effort — the
-    record is advisory) before simulating, so pollers see progress, and
-    returns ``(report, duration_s, worker)`` for the parent to finish
-    the record and persist the result.
+    record is advisory) before simulating, renews its ``lease_unix``
+    every *lease_interval_s* while the run is live so the supervisor
+    can tell a slow worker from a dead one, and returns
+    ``(report, duration_s, worker)`` for the parent to finish the
+    record and persist the result.
     """
     jobs = JobStore(store_root)
     digest = config_digest(config)
@@ -73,8 +105,27 @@ def execute_job(
         record.status = JobStatus.RUNNING
         record.started_unix = wall_clock()
         record.worker = worker_identity()
+        record.lease_unix = wall_clock()
         jobs.save(record)
-    report, duration = run_config_timed(config)
+    stop = threading.Event()
+
+    def renew() -> None:
+        while not stop.wait(lease_interval_s):
+            current = jobs.load(digest)
+            if current is None or current.terminal:
+                return
+            current.lease_unix = wall_clock()
+            jobs.save(current)
+
+    keeper = threading.Thread(
+        target=renew, name=f"lease-{digest[:12]}", daemon=True
+    )
+    keeper.start()
+    try:
+        report, duration = run_config_timed(config)
+    finally:
+        stop.set()
+        keeper.join(timeout=2 * lease_interval_s)
     return report, duration, worker_identity()
 
 
@@ -120,7 +171,7 @@ class WorkerPool:
 
 @dataclasses.dataclass(slots=True)
 class ServiceCounters:
-    """Mutable hit/miss accounting for one queue lifetime."""
+    """Mutable hit/miss/failure accounting for one queue lifetime."""
 
     #: Submissions answered from an existing store entry.
     hits: int = 0
@@ -130,8 +181,19 @@ class ServiceCounters:
     coalesced: int = 0
     #: Executions that completed and persisted a result.
     executed: int = 0
-    #: Executions that raised.
+    #: Executions that settled as failed (after any retries).
     failed: int = 0
+    #: Automatic re-executions scheduled after a retryable failure.
+    retries: int = 0
+    #: Jobs cancelled and requeued for exceeding their time budget
+    #: (per-job timeout or a stale worker lease).
+    timeouts: int = 0
+    #: Worker-pool teardowns after a broken/hung executor.
+    pool_rebuilds: int = 0
+    #: Submissions rejected with 503 (queue depth cap / broken pool).
+    rejected: int = 0
+    #: Stale non-terminal records reconciled at startup.
+    reconciled: int = 0
 
     def to_json_dict(self) -> typing.Dict[str, int]:
         """Counter values as a JSON-native dict."""
@@ -165,6 +227,16 @@ class _InflightJob:
     config: ScenarioConfig
     record: JobRecord
     settled: threading.Event
+    #: The *current* attempt's future.  ``_finish`` ignores futures
+    #: that are no longer current (a timed-out attempt whose worker
+    #: eventually answers must not double-settle the job).
+    future: typing.Optional[
+        "concurrent.futures.Future[typing.Tuple[RunReport, float, str]]"
+    ] = None
+    #: ``perf_clock`` stamp of the current dispatch (timeout budget).
+    dispatched_s: typing.Optional[float] = None
+    #: Pending backoff timer while a retry waits to re-dispatch.
+    timer: typing.Optional[threading.Timer] = None
 
 
 class JobQueue:
@@ -173,6 +245,11 @@ class JobQueue:
     All public methods are thread-safe (the HTTP layer calls them from
     many handler threads).  ``submit`` never blocks on simulation work;
     ``wait`` blocks until a digest's in-flight execution settles.
+
+    *max_inflight* caps the number of simultaneously in-flight digests:
+    a submission that would start a fresh execution beyond the cap
+    raises :class:`QueueDepthExceeded` (cache hits and coalescing
+    submissions are always accepted — they add no load).
     """
 
     def __init__(
@@ -180,13 +257,16 @@ class JobQueue:
         store: RunStore,
         workers: int = 2,
         pool: typing.Optional[WorkerPool] = None,
+        max_inflight: typing.Optional[int] = None,
     ) -> None:
         self.store = store
         self.jobs = JobStore(store.root)
         self.pool = pool if pool is not None else WorkerPool(workers)
         self.counters = ServiceCounters()
+        self.max_inflight = max_inflight
         self._lock = threading.Lock()
         self._inflight: typing.Dict[str, _InflightJob] = {}
+        self._closing = False
 
     # ------------------------------------------------------------------
     # Submission (single-flight)
@@ -199,9 +279,17 @@ class JobQueue:
         Exactly one of three things happens (see the module docstring):
         cache hit, coalesce, or a fresh execution.  In every case the
         returned record snapshot reflects the state at return time.
+
+        Raises
+        ------
+        ServiceUnavailable
+            When the queue is shutting down, or a fresh execution would
+            exceed *max_inflight* (:class:`QueueDepthExceeded`).
         """
         digest = config_digest(config)
         with self._lock:
+            if self._closing:
+                raise ServiceUnavailable("queue is shutting down")
             inflight = self._inflight.get(digest)
             if inflight is not None:
                 inflight.record.submissions += 1
@@ -219,6 +307,15 @@ class JobQueue:
                 return SubmitOutcome(
                     digest=digest, record=record, cached=True
                 )
+            if (
+                self.max_inflight is not None
+                and len(self._inflight) >= self.max_inflight
+            ):
+                self.counters.rejected += 1
+                raise QueueDepthExceeded(
+                    f"queue depth cap reached "
+                    f"({len(self._inflight)}/{self.max_inflight} in flight)"
+                )
             self.counters.misses += 1
             record = JobRecord(
                 digest=digest,
@@ -233,14 +330,25 @@ class JobQueue:
             )
             self._inflight[digest] = job
             snapshot = _copy_record(record)
-        # Dispatch OUTSIDE the lock: add_done_callback runs _finish
-        # inline when the future already settled, and _finish takes the
-        # lock — holding it here would deadlock on fast executors.
-        future = self.pool.submit(config, self.store.root)
+        self._dispatch(digest, job)
+        return SubmitOutcome(digest=digest, record=snapshot)
+
+    def _dispatch(self, digest: str, job: _InflightJob) -> None:
+        """Hand *job* to the worker pool and wire up settlement.
+
+        Runs OUTSIDE the queue lock: ``add_done_callback`` runs
+        ``_finish`` inline when the future already settled, and
+        ``_finish`` takes the lock — holding it here would deadlock on
+        fast executors.  Subclasses override to add pool supervision
+        and timeout stamping.
+        """
+        future = self.pool.submit(job.config, self.store.root)
+        with self._lock:
+            job.future = future
+            job.dispatched_s = perf_clock()
         future.add_done_callback(
             lambda done, digest=digest: self._finish(digest, done)
         )
-        return SubmitOutcome(digest=digest, record=snapshot)
 
     def _finish(
         self,
@@ -248,43 +356,94 @@ class JobQueue:
         future: "concurrent.futures.Future[typing.Tuple[RunReport, float, str]]",
     ) -> None:
         """Settle one execution: persist result + final job record."""
-        job = self._inflight.get(digest)
-        if job is None:  # pragma: no cover - defensive; submit wired it
-            return
-        record = job.record
+        with self._lock:
+            job = self._inflight.get(digest)
+            if job is None:
+                # Never wired, or already settled (e.g. at shutdown).
+                return
+            if job.future is not None and job.future is not future:
+                # A stale attempt: this future was timed out and
+                # requeued; whatever it produced is no longer wanted.
+                return
         try:
             report, duration, worker = future.result()
-        except Exception as error:
-            detail = "".join(
-                traceback.format_exception_only(type(error), error)
-            ).strip()
-            with self._lock:
-                record.status = JobStatus.FAILED
-                record.finished_unix = wall_clock()
-                record.error = detail
-                self.counters.failed += 1
-                self._merge_worker_fields(record)
-                self.jobs.save(record)
-                del self._inflight[digest]
-        else:
+        except (concurrent.futures.CancelledError, Exception) as error:
+            # CancelledError is a BaseException since 3.8: a future
+            # cancelled by a pool teardown must still settle the job.
+            if self._retry_after_failure(digest, job, error):
+                return
+            self._settle_failed(digest, job, error)
+            return
+        try:
             self.store.put(job.config, report, duration_s=duration)
-            with self._lock:
-                record.status = JobStatus.DONE
-                record.finished_unix = wall_clock()
-                record.duration_s = duration
-                record.worker = worker
-                self.counters.executed += 1
-                self._merge_worker_fields(record)
-                self.jobs.save(record)
-                del self._inflight[digest]
+        except Exception as error:
+            # The simulation succeeded but the result could not be
+            # persisted (store IO fault).  The run is deterministic, so
+            # re-executing is a correct — if expensive — way back.
+            if self._retry_after_failure(digest, job, error):
+                return
+            self._settle_failed(digest, job, error)
+            return
+        self._settle_done(digest, job, duration, worker)
+
+    def _retry_after_failure(
+        self, digest: str, job: _InflightJob, error: BaseException
+    ) -> bool:
+        """Hook: arrange a retry for a failed execution.
+
+        The base queue never retries; the supervised queue
+        (:mod:`repro.service.resilience`) schedules bounded retries
+        with deterministic backoff and returns True, which keeps the
+        job in flight (``settled`` stays unset, coalescing continues).
+        """
+        return False
+
+    def _settle_failed(
+        self, digest: str, job: _InflightJob, error: BaseException
+    ) -> None:
+        """Terminal failure: persist the record and release waiters."""
+        detail = "".join(
+            traceback.format_exception_only(type(error), error)
+        ).strip()
+        record = job.record
+        with self._lock:
+            record.status = JobStatus.FAILED
+            record.finished_unix = wall_clock()
+            record.error = detail
+            self.counters.failed += 1
+            self._merge_worker_fields(record)
+            self.jobs.save(record)
+            self._inflight.pop(digest, None)
+        job.settled.set()
+
+    def _settle_done(
+        self,
+        digest: str,
+        job: _InflightJob,
+        duration: float,
+        worker: str,
+    ) -> None:
+        """Terminal success: persist the record and release waiters."""
+        record = job.record
+        with self._lock:
+            record.status = JobStatus.DONE
+            record.finished_unix = wall_clock()
+            record.duration_s = duration
+            record.worker = worker
+            record.error = None  # clear any retry breadcrumb
+            self.counters.executed += 1
+            self._merge_worker_fields(record)
+            self.jobs.save(record)
+            self._inflight.pop(digest, None)
         job.settled.set()
 
     def _merge_worker_fields(self, record: JobRecord) -> None:
         """Fold the worker's ``running`` save into the parent's record.
 
-        The worker persisted ``started_unix``/``worker`` from its own
-        process; the parent's in-memory record is authoritative for
-        everything else (notably coalesced ``submissions``).
+        The worker persisted ``started_unix``/``worker``/``lease_unix``
+        from its own process; the parent's in-memory record is
+        authoritative for everything else (notably coalesced
+        ``submissions`` and retry ``attempts``).
         """
         persisted = self.jobs.load(record.digest)
         if persisted is not None:
@@ -292,6 +451,8 @@ class JobQueue:
                 record.started_unix = persisted.started_unix
             if record.worker is None:
                 record.worker = persisted.worker
+            if record.lease_unix is None:
+                record.lease_unix = persisted.lease_unix
 
     def _terminal_record(
         self, digest: str, entry: StoreEntry, source: str
@@ -347,6 +508,7 @@ class JobQueue:
                     record.status = persisted.status
                     record.started_unix = persisted.started_unix
                     record.worker = persisted.worker
+                    record.lease_unix = persisted.lease_unix
                 return record
         record = self.jobs.load(digest)
         if record is not None:
@@ -366,7 +528,9 @@ class JobQueue:
 
         True when the digest is not (or no longer) in flight within
         *timeout* seconds; a digest that was never submitted returns
-        True immediately (there is nothing to wait for).
+        True immediately (there is nothing to wait for).  Shutdown
+        settles every in-flight event, so waiters never outlive the
+        queue.
         """
         with self._lock:
             job = self._inflight.get(digest)
@@ -408,6 +572,11 @@ class JobQueue:
         with self._lock:
             return len(self._inflight)
 
+    def inflight_digests(self) -> typing.List[str]:
+        """Snapshot of the digests currently queued or running."""
+        with self._lock:
+            return sorted(self._inflight)
+
     def stats(self) -> typing.Dict[str, typing.Any]:
         """The ``/v1/store/stats`` payload: counters + store footprint."""
         entries, total_bytes = self.store.size_stats()
@@ -420,8 +589,33 @@ class JobQueue:
             "counters": self.counters.to_json_dict(),
         }
 
+    def service_stats(self) -> typing.Dict[str, typing.Any]:
+        """The ``/v1/service/stats`` payload: execution health only.
+
+        The supervised queue extends this with its retry policy and
+        pool supervision state.
+        """
+        return {
+            "counters": self.counters.to_json_dict(),
+            "inflight": self.inflight_count(),
+            "workers": self.pool.workers,
+            "max_inflight": self.max_inflight,
+            "supervised": False,
+        }
+
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker pool."""
+        """Stop the worker pool and release every blocked waiter.
+
+        In-flight jobs are abandoned (their records are reconciled to
+        ``failed`` at the next startup); their ``settled`` events fire
+        so ``wait``/long-poll callers return instead of hanging on a
+        queue that will never settle them.
+        """
+        with self._lock:
+            self._closing = True
+            abandoned = list(self._inflight.values())
+        for job in abandoned:
+            job.settled.set()
         self.pool.shutdown(wait=wait)
 
 

@@ -144,7 +144,9 @@ def decode_entry(
 #: advisory bookkeeping beside a result, never part of a digest
 #: preimage.  A record written under a different version is treated as
 #: absent (the job is re-derived from the store entry, or re-run).
-JOB_SCHEMA_VERSION = 1
+#: v2 added retry bookkeeping (``attempts``) and the worker lease
+#: (``lease_unix``) for the supervised queue (repro.service.resilience).
+JOB_SCHEMA_VERSION = 2
 
 
 class JobStatus:
@@ -187,6 +189,13 @@ class JobRecord:
     #: How many submissions coalesced into this single execution
     #: (single-flight dedup counts every taker).
     submissions: int = 1
+    #: Execution attempts dispatched so far (1 for the first run; the
+    #: supervised queue increments it on every automatic retry).
+    attempts: int = 1
+    #: Last lease renewal written by the executing worker (wall clock).
+    #: ``None`` until a worker first touches the record; a stale lease
+    #: on a non-terminal record marks the worker as silently dead.
+    lease_unix: typing.Optional[float] = None
     #: Who created the job: ``"api"``, ``"cli"``, or ``"store"`` for
     #: records synthesized from a pre-existing store entry.
     source: str = "api"
@@ -199,6 +208,8 @@ class JobRecord:
             raise ValueError(
                 f"submissions must be >= 1: {self.submissions}"
             )
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1: {self.attempts}")
 
     @property
     def terminal(self) -> bool:

@@ -13,7 +13,15 @@ import pytest
 from repro.cli import build_parser
 from repro.deploy.scenario import Algorithm, paper_scenario
 from repro.metrics import RunReport
-from repro.service import JobQueue, ServiceClient, WorkerPool, serve
+from repro.service import (
+    JobQueue,
+    RetryPolicy,
+    ServiceClient,
+    SupervisedPool,
+    SupervisedQueue,
+    WorkerPool,
+    serve,
+)
 from repro.service.client import ServiceError
 from repro.store import RunStore, config_digest
 
@@ -78,6 +86,118 @@ class TestHealthAndStats:
         assert stats["entries"] == 1
         assert stats["counters"]["hits"] == 1
         assert stats["root"] == store.root
+
+
+@pytest.fixture
+def gated_service(tmp_path):
+    """A supervised, depth-capped server with a gated runner.
+
+    Yields (client, queue, gate); the first submitted job blocks on the
+    gate, holding the single queue slot open so overload paths are
+    reachable deterministically.  The client has retries disabled so a
+    503 surfaces instead of being retried away.
+    """
+    gate = threading.Event()
+
+    def gated_runner(config, store_root):
+        assert gate.wait(30)
+        return make_report(config.describe()), 0.25, "pid-test"
+
+    pool = SupervisedPool(
+        workers=2,
+        runner=gated_runner,
+        executor_factory=lambda: concurrent.futures.ThreadPoolExecutor(2),
+    )
+    queue = SupervisedQueue(
+        RunStore(tmp_path),
+        policy=RetryPolicy(max_retries=0, queue_depth=1),
+        pool=pool,
+        monitor_interval_s=None,
+    )
+    server = serve(queue=queue, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServiceClient(port=server.port, retries=0), queue, gate
+    gate.set()
+    server.shutdown()
+    server.server_close()
+    queue.shutdown(wait=False)
+
+
+class TestServiceStats:
+    def test_plain_queue_stats_shape(self, service):
+        client, _queue, _store = service
+        stats = client.service_stats()
+        assert stats["supervised"] is False
+        assert stats["workers"] == 2
+        assert stats["inflight"] == 0
+        counters = stats["counters"]
+        for key in (
+            "retries", "timeouts", "pool_rebuilds", "rejected",
+            "reconciled", "executed", "failed",
+        ):
+            assert counters[key] == 0
+
+    def test_supervised_queue_stats_shape(self, gated_service):
+        client, _queue, _gate = gated_service
+        stats = client.service_stats()
+        assert stats["supervised"] is True
+        assert stats["policy"]["max_retries"] == 0
+        assert stats["policy"]["queue_depth"] == 1
+        assert stats["pool"] == {
+            "broken": False, "generation": 0, "rebuilds": 0,
+        }  # generation 0: the executor builds lazily on first submit
+
+
+class TestDegradation:
+    def test_depth_cap_answers_503_with_retry_after(self, gated_service):
+        client, queue, gate = gated_service
+        first = client.submit(CONFIG.to_json_dict())
+        assert first["status"] == "queued"
+        with pytest.raises(ServiceError) as exc:
+            client.submit(CONFIG.replace(seed=99).to_json_dict())
+        assert exc.value.code == 503
+        assert exc.value.retry_after_s >= 1.0
+        assert "depth" in str(exc.value)
+        assert queue.counters.rejected == 1
+        # coalescing into the in-flight digest still works at the cap
+        again = client.submit(CONFIG.to_json_dict())
+        assert again["coalesced"] is True
+        gate.set()
+        client.wait(first["digest"], timeout_s=10)
+        # slot freed: previously rejected work is accepted now
+        retry = client.submit(CONFIG.replace(seed=99).to_json_dict())
+        client.wait(retry["digest"], timeout_s=10)
+
+    def test_healthz_reports_degraded_while_pool_broken(
+        self, gated_service
+    ):
+        client, queue, _gate = gated_service
+        assert client.health()["status"] == "ok"
+        queue.pool.broken = True
+        assert client.health()["status"] == "degraded"
+        queue.pool.broken = False
+        assert client.health()["status"] == "ok"
+
+    def test_client_retry_rides_out_the_503(self, gated_service):
+        _client, queue, gate = gated_service
+        retrying = ServiceClient(
+            port=_client.port, retries=3, backoff_base_s=0.05
+        )
+        first = retrying.submit(CONFIG.to_json_dict())
+        release = threading.Timer(0.3, gate.set)
+        release.start()
+        try:
+            # blocked at first by the depth cap; succeeds once the
+            # gate opens and the slot drains, all inside one call
+            out = retrying.submit(
+                CONFIG.replace(seed=99).to_json_dict()
+            )
+            assert out["digest"] != first["digest"]
+            retrying.wait(out["digest"], timeout_s=10)
+        finally:
+            release.cancel()
+            gate.set()
 
 
 class TestSubmit:
@@ -230,16 +350,23 @@ class TestServeParser:
         assert args.port == 8373
         assert args.workers == 2
         assert not args.quiet
+        assert args.max_retries == 2
+        assert args.job_timeout is None
+        assert args.queue_depth is None
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
             ["serve", "--port", "0", "--workers", "5", "--quiet",
-             "--store", "/tmp/x"]
+             "--store", "/tmp/x", "--max-retries", "4",
+             "--job-timeout", "90", "--queue-depth", "8"]
         )
         assert args.port == 0
         assert args.workers == 5
         assert args.quiet
         assert args.store == "/tmp/x"
+        assert args.max_retries == 4
+        assert args.job_timeout == 90.0
+        assert args.queue_depth == 8
 
     def test_export_parser(self):
         args = build_parser().parse_args(["export", "abc", "def"])

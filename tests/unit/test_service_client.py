@@ -1,0 +1,159 @@
+"""Unit tests for the client's retry plumbing (repro.service.client).
+
+No sockets: ``_request_once`` is monkeypatched with scripted outcomes
+and ``sleep`` is injected, so every backoff decision is observable and
+the tests run in microseconds.  Live client-against-server behavior is
+covered by ``tests/unit/test_service_api.py``.
+"""
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+class ScriptedTransport:
+    """Replaces ``_request_once`` with a queue of outcomes.
+
+    Each script entry is either an exception instance (raised) or a
+    dict (returned).  Records every attempt and every sleep.
+    """
+
+    def __init__(self, client, script):
+        self.script = list(script)
+        self.calls = []
+        self.sleeps = []
+        client._sleep = self.sleeps.append
+        client._request_once = self._once
+
+    def _once(self, method, path, payload, timeout_s):
+        self.calls.append((method, path, timeout_s))
+        outcome = self.script.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+def make_client(**changes):
+    defaults = dict(retries=2, backoff_base_s=0.25, backoff_max_s=4.0)
+    defaults.update(changes)
+    return ServiceClient("127.0.0.1", 1, **defaults)
+
+
+class TestTransportRetry:
+    def test_connection_error_retried_with_backoff(self):
+        client = make_client()
+        transport = ScriptedTransport(
+            client,
+            [
+                ConnectionRefusedError("refused"),
+                ConnectionResetError("reset"),
+                {"status": "ok"},
+            ],
+        )
+        assert client.health() == {"status": "ok"}
+        assert len(transport.calls) == 3
+        assert transport.sleeps == [0.25, 0.5]  # base * 2**(n-1)
+
+    def test_backoff_capped(self):
+        client = make_client(retries=5, backoff_max_s=0.6)
+        transport = ScriptedTransport(
+            client,
+            [OSError("down")] * 5 + [{"status": "ok"}],
+        )
+        assert client.health() == {"status": "ok"}
+        assert transport.sleeps == [0.25, 0.5, 0.6, 0.6, 0.6]
+
+    def test_retries_exhausted_reraises(self):
+        client = make_client(retries=1)
+        transport = ScriptedTransport(
+            client,
+            [ConnectionRefusedError("a"), ConnectionRefusedError("b")],
+        )
+        with pytest.raises(ConnectionRefusedError, match="b"):
+            client.health()
+        assert len(transport.sleeps) == 1
+
+    def test_zero_retries_fails_fast(self):
+        client = make_client(retries=0)
+        transport = ScriptedTransport(client, [OSError("down")])
+        with pytest.raises(OSError):
+            client.health()
+        assert transport.sleeps == []
+
+
+class Test503Handling:
+    def test_503_honors_retry_after(self):
+        client = make_client()
+        transport = ScriptedTransport(
+            client,
+            [
+                ServiceError(
+                    503, {"error": "queue full", "retry_after_s": 3}
+                ),
+                {"digest": "ab" * 32, "status": "queued"},
+            ],
+        )
+        out = client.submit({"seed": 1})
+        assert out["status"] == "queued"
+        assert transport.sleeps == [3.0]
+
+    def test_503_without_hint_uses_backoff(self):
+        client = make_client()
+        transport = ScriptedTransport(
+            client,
+            [ServiceError(503, {"error": "busy"}), {"ok": True}],
+        )
+        assert client.health() == {"ok": True}
+        assert transport.sleeps == [0.25]
+
+    def test_huge_retry_after_is_capped(self):
+        client = make_client()
+        transport = ScriptedTransport(
+            client,
+            [
+                ServiceError(
+                    503, {"error": "busy", "retry_after_s": 9000}
+                ),
+                {"ok": True},
+            ],
+        )
+        assert client.health() == {"ok": True}
+        assert transport.sleeps == [30.0]
+
+    def test_non_503_errors_never_retried(self):
+        client = make_client()
+        transport = ScriptedTransport(
+            client,
+            [ServiceError(404, {"error": "unknown digest"})],
+        )
+        with pytest.raises(ServiceError) as exc:
+            client.job("ab" * 32)
+        assert exc.value.code == 404
+        assert transport.sleeps == []
+
+    def test_retry_after_property(self):
+        assert ServiceError(503, {"retry_after_s": 2}).retry_after_s == 2.0
+        assert ServiceError(503, {}).retry_after_s is None
+        assert ServiceError(503, {"retry_after_s": "x"}).retry_after_s is None
+
+
+class TestTimeouts:
+    def test_per_call_timeout_reaches_transport(self):
+        client = make_client()
+        transport = ScriptedTransport(client, [{"job": {}}])
+        client.job("ab" * 32, timeout_s=7.5)
+        assert transport.calls[0][2] == 7.5
+
+    def test_wait_stretches_connection_timeout(self):
+        client = make_client(timeout_s=5.0)
+        transport = ScriptedTransport(client, [{"job": {}}])
+        client.wait("ab" * 32, timeout_s=42.0)
+        method, path, timeout_s = transport.calls[0]
+        assert "wait=42" in path
+        assert timeout_s == 52.0  # wait window + 10 s slack
+
+    def test_default_timeout_used_otherwise(self):
+        client = make_client(timeout_s=5.0)
+        transport = ScriptedTransport(client, [{"job": {}}])
+        client.job("ab" * 32)
+        assert transport.calls[0][2] is None  # falls through to default

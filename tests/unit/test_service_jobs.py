@@ -28,6 +28,8 @@ def make_record(**changes):
         worker="pid-4242",
         error=None,
         submissions=3,
+        attempts=2,
+        lease_unix=1_700_000_002.0,
         source="api",
         description="fixed | 4 robots",
     )
@@ -86,6 +88,10 @@ class TestJobRecordValidation:
     def test_zero_submissions_rejected(self):
         with pytest.raises(ValueError, match="submissions"):
             make_record(submissions=0)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            make_record(attempts=0)
 
     def test_terminal_property(self):
         assert make_record(status=JobStatus.DONE).terminal
