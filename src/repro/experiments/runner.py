@@ -50,14 +50,29 @@ def run_config(config: ScenarioConfig) -> RunReport:
 
 def run_config_timed(
     config: ScenarioConfig,
+    on_runtime: typing.Optional[
+        typing.Callable[[ScenarioRuntime], None]
+    ] = None,
 ) -> typing.Tuple[RunReport, float]:
     """:func:`run_config` plus the measured wall-clock duration.
 
     The duration is provenance for store manifests only — it never
     feeds back into the simulation (which runs purely on virtual time).
+
+    *on_runtime*, when given, receives the wired
+    :class:`ScenarioRuntime` just before the simulation starts.  The
+    service's worker uses it to watch ``sim.now`` /
+    ``sim.processed_events`` as a liveness signal: its lease keeper
+    only renews while the simulation is actually advancing, so an
+    alive-but-wedged worker goes lease-stale and gets requeued.
     """
     started = perf_clock()
-    report = run_config(config)
+    if on_runtime is None:
+        report = run_config(config)
+    else:
+        runtime = ScenarioRuntime(config)
+        on_runtime(runtime)
+        report = runtime.run()
     return report, perf_clock() - started
 
 

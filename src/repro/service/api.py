@@ -100,6 +100,10 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
     #: ``_send_json`` always sets it.
     protocol_version = "HTTP/1.1"
 
+    #: True once any byte of the current response hit the wire;
+    #: reset per request, consulted by the catch-all recovery.
+    _response_begun = False
+
     @property
     def queue(self) -> JobQueue:
         return typing.cast(ServiceServer, self.server).queue
@@ -108,12 +112,13 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._response_begun = False
         try:
             self._route_get()
         except Exception as error:
             # The degradation contract: the only 5xx this server emits
             # is a retryable 503 (docs/SERVICE.md, failure semantics).
-            self._send_unavailable(f"handler failure: {error}")
+            self._recover(error)
 
     def _route_get(self) -> None:
         split = urllib.parse.urlsplit(self.path)
@@ -137,6 +142,7 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
                 self._get_run(match.group("digest"), query)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._response_begun = False
         try:
             path = urllib.parse.urlsplit(self.path).path
             if path != "/v1/runs":
@@ -144,7 +150,21 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
                 return
             self._post_run()
         except Exception as error:
-            self._send_unavailable(f"handler failure: {error}")
+            self._recover(error)
+
+    def _recover(self, error: Exception) -> None:
+        """Last-resort handling for a handler that raised.
+
+        Before any bytes of a response went out, the documented 503 is
+        still a clean answer.  After a status line has been written, a
+        second response on the same connection would interleave with
+        the first into garbage — drop the connection instead, which
+        clients see as a truncated response they must not trust.
+        """
+        if self._response_begun:
+            self.close_connection = True
+            return
+        self._send_unavailable(f"handler failure: {error}")
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -287,6 +307,9 @@ class ServiceHandler(http.server.BaseHTTPRequestHandler):
             payload, sort_keys=True, indent=1, allow_nan=not strict
         )
         body = (text + "\n").encode("utf-8")
+        # Everything that can fail for content reasons (serialization)
+        # has; from here any bytes written commit this response.
+        self._response_begun = True
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

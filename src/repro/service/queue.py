@@ -97,10 +97,21 @@ def execute_job(
     can tell a slow worker from a dead one, and returns
     ``(report, duration_s, worker)`` for the parent to finish the
     record and persist the result.
+
+    Renewal is tied to the simulation's own progress: once the run is
+    live, the keeper samples ``sim.now`` / ``sim.processed_events`` and
+    only re-stamps the lease when they moved since the last renewal.
+    An alive-but-wedged worker therefore goes lease-stale exactly like
+    a dead one, and the supervisor's staleness check fires for both.
+    The keeper also stops touching the record as soon as its persisted
+    ``attempts`` no longer match this dispatch — after a timeout the
+    parent requeues the job, and the record belongs to the next
+    attempt, not to this one.
     """
     jobs = JobStore(store_root)
     digest = config_digest(config)
     record = jobs.load(digest)
+    attempt = record.attempts if record is not None else None
     if record is not None and not record.terminal:
         record.status = JobStatus.RUNNING
         record.started_unix = wall_clock()
@@ -108,11 +119,28 @@ def execute_job(
         record.lease_unix = wall_clock()
         jobs.save(record)
     stop = threading.Event()
+    #: Filled with the live ScenarioRuntime once the simulation starts;
+    #: until then the keeper renews unconditionally (setup is progress).
+    started: typing.List[typing.Any] = []
 
     def renew() -> None:
+        last: typing.Optional[typing.Tuple[float, int]] = None
         while not stop.wait(lease_interval_s):
+            if started:
+                sim = started[0].sim
+                mark = (sim.now, sim.processed_events)
+                if mark == last:
+                    # No simulation progress since the last renewal:
+                    # wedged, not slow.  Withhold the stamp and let the
+                    # lease go stale so the supervisor requeues.
+                    continue
+                last = mark
             current = jobs.load(digest)
             if current is None or current.terminal:
+                return
+            if attempt is not None and current.attempts != attempt:
+                # The parent already requeued this job; the record now
+                # describes a newer attempt this worker must not touch.
                 return
             current.lease_unix = wall_clock()
             jobs.save(current)
@@ -122,7 +150,9 @@ def execute_job(
     )
     keeper.start()
     try:
-        report, duration = run_config_timed(config)
+        report, duration = run_config_timed(
+            config, on_runtime=started.append
+        )
     finally:
         stop.set()
         keeper.join(timeout=2 * lease_interval_s)
@@ -361,10 +391,16 @@ class JobQueue:
             if job is None:
                 # Never wired, or already settled (e.g. at shutdown).
                 return
-            if job.future is not None and job.future is not future:
+            if job.future is not future:
                 # A stale attempt: this future was timed out and
-                # requeued; whatever it produced is no longer wanted.
+                # requeued (``job.future`` is now ``None`` or a newer
+                # dispatch); whatever it produced is no longer wanted.
                 return
+            # Claim settlement: clearing the current future makes this
+            # callback the job's sole settler — a concurrent expiry (or
+            # any later callback) finds no current future and backs off.
+            job.future = None
+            job.dispatched_s = None
         try:
             report, duration, worker = future.result()
         except (concurrent.futures.CancelledError, Exception) as error:
@@ -407,6 +443,11 @@ class JobQueue:
         ).strip()
         record = job.record
         with self._lock:
+            if self._inflight.get(digest) is not job:
+                # Already settled by a racing path (or superseded by a
+                # fresh submission of the same digest): never overwrite
+                # a terminal record or pop a successor's state.
+                return
             record.status = JobStatus.FAILED
             record.finished_unix = wall_clock()
             record.error = detail
@@ -426,6 +467,8 @@ class JobQueue:
         """Terminal success: persist the record and release waiters."""
         record = job.record
         with self._lock:
+            if self._inflight.get(digest) is not job:
+                return  # settled elsewhere — same guard as _settle_failed
             record.status = JobStatus.DONE
             record.finished_unix = wall_clock()
             record.duration_s = duration

@@ -224,6 +224,18 @@ class SupervisedPool(WorkerPool):
         self._closed = False
 
     def _pool(self) -> concurrent.futures.Executor:
+        return self._acquire()[0]
+
+    def _acquire(
+        self,
+    ) -> typing.Tuple[concurrent.futures.Executor, int]:
+        """The working executor plus the generation it belongs to.
+
+        The generation is captured under the same lock that produced
+        the executor, so a submitter that later finds the executor
+        broken can ask for a rebuild *of that generation* — and no-op
+        when a sibling already replaced it.
+        """
         with self._supervision:
             if self._closed:
                 raise PoolUnavailable("worker pool is shut down")
@@ -236,7 +248,7 @@ class SupervisedPool(WorkerPool):
                         f"cannot build worker pool: {error}"
                     ) from error
             self.broken = False
-            return self._executor
+            return self._executor, self.generation
 
     def _build(self) -> concurrent.futures.Executor:
         if self._factory is not None:
@@ -259,7 +271,7 @@ class SupervisedPool(WorkerPool):
     ) -> "concurrent.futures.Future[typing.Any]":
         """Schedule *config*, rebuilding the pool once if it is broken."""
         for already_rebuilt in (False, True):
-            executor = self._pool()
+            executor, generation = self._acquire()
             try:
                 return executor.submit(self.runner, config, store_root)
             except (
@@ -271,19 +283,31 @@ class SupervisedPool(WorkerPool):
                     raise PoolUnavailable(
                         f"worker pool broken: {error}"
                     ) from error
-                self.rebuild()
+                self.rebuild_if(generation)
         raise AssertionError("unreachable")
 
     def rebuild(self) -> None:
-        """Tear the current executor down; the next use builds fresh.
+        """Tear the current executor down; the next use builds fresh."""
+        self.rebuild_if(self.generation)
 
-        Running worker processes are killed (their futures settle with
-        ``BrokenProcessPool``/``CancelledError``, which the supervised
-        queue treats as retryable).  Thread-based executors cannot be
-        killed — their threads are abandoned and ignored via the
-        stale-future guard.
+    def rebuild_if(self, generation: int) -> bool:
+        """Rebuild only while *generation* is still the current one.
+
+        This is how N broken futures share one rebuild: every submitter
+        that found generation G broken asks to replace exactly G; the
+        first request wins, the rest no-op instead of SIGKILLing the
+        fresh executor a sibling just built (and submitted to).
+
+        Running worker processes of the replaced executor are killed
+        (their futures settle with ``BrokenProcessPool`` /
+        ``CancelledError``, which the supervised queue treats as
+        retryable).  Thread-based executors cannot be killed — their
+        threads are abandoned and ignored via the stale-future guard.
+        Returns True when this call actually rebuilt.
         """
         with self._supervision:
+            if self._closed or self.generation != generation:
+                return False
             stale = self._executor
             self._executor = None
             self.generation += 1
@@ -294,6 +318,7 @@ class SupervisedPool(WorkerPool):
             stale.shutdown(wait=False, cancel_futures=True)
         if hook is not None:
             hook()
+        return True
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool for good; further submits raise.
@@ -392,6 +417,10 @@ class SupervisedQueue(JobQueue):
             self.counters.retries += 1
             delay_s = self.policy.backoff_s(digest, record.attempts)
             self.jobs.save(record)
+            if job.timer is not None:
+                # Defensive: never leave two live timers racing to
+                # redispatch the same job.
+                job.timer.cancel()
             timer = threading.Timer(
                 delay_s, self._redispatch, args=(digest, job)
             )
@@ -483,6 +512,13 @@ class SupervisedQueue(JobQueue):
                 return
             future = job.future
             if future is None or job.timer is not None:
+                return
+            if future.done():
+                # Completed between the timeout scan and now: its
+                # ``_finish`` callback owns settlement.  Expiring it
+                # anyway would discard a finished result, and — since
+                # ``cancel()`` returns False on done futures — tear
+                # down a pool full of healthy workers.
                 return
             # Everything the old attempt does from here on is stale:
             # its eventual completion hits the guard in ``_finish``.

@@ -67,6 +67,24 @@ class TestRunConfig:
             or math.isnan(run_config(config).mean_travel_distance)
         )
 
+    def test_on_runtime_hook_sees_the_live_runtime(self):
+        """The hook receives the wired runtime before the run starts
+        (the service's lease keeper watches it for liveness) without
+        changing the result."""
+        from repro.experiments import run_config_timed
+
+        config = paper_scenario(Algorithm.FIXED, 4, seed=8, **FAST)
+        seen = []
+        report, duration = run_config_timed(
+            config, on_runtime=seen.append
+        )
+        assert len(seen) == 1
+        assert seen[0].sim.processed_events > 0  # the sim that ran
+        assert duration >= 0.0
+        plain, _ = run_config_timed(config)
+        assert report.failures == plain.failures
+        assert report.description == plain.description
+
 
 class TestSweep:
     @pytest.fixture(scope="class")

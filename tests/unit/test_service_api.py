@@ -179,6 +179,39 @@ class TestDegradation:
         queue.pool.broken = False
         assert client.health()["status"] == "ok"
 
+    def test_failure_after_response_bytes_closes_connection(
+        self, service, monkeypatch
+    ):
+        """A handler that fails after the response started must close
+        the connection — never append a second status line (a garbled
+        503 after a half-written 200) to the same stream."""
+        import socket
+
+        from repro.service.api import ServiceHandler
+
+        original = ServiceHandler._send_json
+
+        def bad_health(self):
+            original(self, 200, {"status": "ok"})
+            raise RuntimeError("boom after the body went out")
+
+        monkeypatch.setattr(ServiceHandler, "_get_health", bad_health)
+        client, _queue, _store = service
+        with socket.create_connection(
+            ("127.0.0.1", client.port), timeout=5
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            sock.settimeout(5)
+            data = b""
+            while True:
+                chunk = sock.recv(65536)  # EOF = server closed, as required
+                if not chunk:
+                    break
+                data += chunk
+        assert data.count(b"HTTP/1.1") == 1
+        assert data.startswith(b"HTTP/1.1 200")
+        assert b"503" not in data
+
     def test_client_retry_rides_out_the_503(self, gated_service):
         _client, queue, gate = gated_service
         retrying = ServiceClient(

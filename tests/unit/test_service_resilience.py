@@ -362,6 +362,117 @@ class TestTimeouts:
             gate.set()
             queue.shutdown()
 
+    def test_expired_attempt_failure_does_not_double_retry(
+        self, tmp_path
+    ):
+        """A timed-out attempt that later *fails* (e.g. its worker is
+        killed by the rebuild) must not re-enter the retry ladder: the
+        expiry already consumed that attempt's retry."""
+        gate = threading.Event()
+        state = {"calls": 0}
+        lock = threading.Lock()
+
+        def hang_then_die_first(config, store_root):
+            with lock:
+                state["calls"] += 1
+                call = state["calls"]
+            if call == 1:
+                assert gate.wait(30)
+                raise WorkerCrash("stale attempt finally died")
+            return make_report(config.describe()), 0.5, "pid-test"
+
+        policy = RetryPolicy(
+            max_retries=2,
+            backoff_base_s=0.3,
+            backoff_max_s=0.3,
+            jitter=0.0,
+            job_timeout_s=0.05,
+        )
+        queue = supervised(tmp_path, hang_then_die_first, policy=policy)
+        try:
+            outcome = queue.submit(CONFIG)
+            pause = threading.Event()
+            for _ in range(200):
+                if queue.check_timeouts():
+                    break
+                pause.wait(0.02)
+            assert queue.counters.timeouts == 1
+            # While the retry's backoff timer is still pending, let the
+            # stale attempt raise a (retryable) error.  Before the
+            # strict stale-future guard this burned a second attempt
+            # and armed a second timer → two concurrent executions.
+            gate.set()
+            pause.wait(0.1)
+            assert queue.wait(outcome.digest, 10)
+            record = queue.status(outcome.digest)
+            assert record.status == JobStatus.DONE
+            assert record.attempts == 2
+            assert state["calls"] == 2
+            assert queue.counters.retries == 1
+            assert queue.counters.executed == 1
+        finally:
+            gate.set()
+            queue.shutdown()
+
+    def test_expire_backs_off_from_a_completed_future(self, tmp_path):
+        """A future that completed between the timeout scan and the
+        expiry belongs to its ``_finish`` callback: expiring it anyway
+        would discard a finished result and tear down healthy workers."""
+        gate = threading.Event()
+
+        def gated(config, store_root):
+            assert gate.wait(30)
+            return make_report(config.describe()), 0.5, "pid-test"
+
+        queue = supervised(tmp_path, gated)
+        try:
+            outcome = queue.submit(CONFIG)
+            with queue._lock:
+                job = queue._inflight[outcome.digest]
+                real = job.future
+                done = concurrent.futures.Future()
+                done.set_result((make_report(), 0.5, "pid-test"))
+                job.future = done  # simulate the completion race
+            queue._expire(outcome.digest, job, "raced with completion")
+            assert queue.counters.timeouts == 0
+            assert queue.pool.rebuilds == 0
+            with queue._lock:
+                assert job.future is done  # untouched — _finish owns it
+                job.future = real
+            gate.set()
+            assert queue.wait(outcome.digest, 10)
+            assert queue.status(outcome.digest).status == JobStatus.DONE
+        finally:
+            gate.set()
+            queue.shutdown()
+
+    def test_late_settle_failed_cannot_overwrite_done(self, tmp_path):
+        """A straggling failure path for an already-settled digest is a
+        no-op: DONE records stay DONE and counters don't move."""
+        import dataclasses
+
+        from repro.service.queue import _InflightJob
+
+        runner = CrashFirstRunner(crashes=0)
+        queue = supervised(tmp_path, runner)
+        try:
+            outcome = queue.submit(CONFIG)
+            assert queue.wait(outcome.digest, 10)
+            record = queue.status(outcome.digest)
+            assert record.status == JobStatus.DONE
+            ghost = _InflightJob(
+                config=CONFIG,
+                record=dataclasses.replace(record),
+                settled=threading.Event(),
+            )
+            queue._settle_failed(
+                outcome.digest, ghost, OSError("late straggler")
+            )
+            assert queue.status(outcome.digest).status == JobStatus.DONE
+            assert queue.counters.failed == 0
+        finally:
+            queue.shutdown()
+
     def test_no_timeout_configured_never_expires(self, tmp_path):
         runner = CrashFirstRunner(crashes=0)
         queue = supervised(tmp_path, runner)  # FAST: job_timeout_s=None
@@ -407,6 +518,31 @@ class TestPoolSupervision:
             assert built == ["broken", "healthy"]
         finally:
             queue.shutdown()
+
+    def test_sibling_rebuild_requests_share_one_rebuild(self):
+        """N submitters that found the same broken generation trigger
+        exactly one teardown: the losers must not SIGKILL the fresh
+        executor the winner just built (and dispatched to)."""
+        runner = CrashFirstRunner(crashes=0)
+        pool = SupervisedPool(
+            workers=1,
+            runner=runner,
+            executor_factory=lambda: (
+                concurrent.futures.ThreadPoolExecutor(1)
+            ),
+        )
+        try:
+            _executor, generation = pool._acquire()
+            assert pool.rebuild_if(generation) is True
+            assert pool.rebuild_if(generation) is False  # sibling no-ops
+            assert pool.rebuilds == 1
+            assert pool.generation == generation + 1
+            fresh, _new_generation = pool._acquire()
+            assert pool.rebuild_if(generation) is False
+            # the freshly-built executor was left alone and still works
+            assert fresh.submit(lambda: 42).result(5) == 42
+        finally:
+            pool.shutdown(wait=False)
 
     def test_unbuildable_pool_fails_job_then_rejects_submissions(
         self, tmp_path
