@@ -46,6 +46,7 @@ from repro.deploy.scenario import (
     PAPER_ROBOT_COUNTS,
     paper_scenario,
 )
+from repro.experiments.degraded import figure_degraded
 from repro.experiments.figures import (
     figure2_motion_overhead,
     figure3_hops,
@@ -70,6 +71,7 @@ _FIGURES = {
     "2": figure2_motion_overhead,
     "3": figure3_hops,
     "4": figure4_update_transmissions,
+    "degraded": figure_degraded,
     "resilience": figure_resilience,
     "verification": figure_verification,
 }
@@ -125,8 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "number",
         choices=sorted(_FIGURES),
-        help="paper figure number, or 'resilience' / 'verification' "
-        "for the robot-fault and network-fault extension figures",
+        help="paper figure number, or 'resilience' / 'verification' / "
+        "'degraded' for the robot-fault, network-fault, and "
+        "degraded-mode extension figures",
     )
     figure.add_argument(
         "--robots",
@@ -506,6 +509,24 @@ def _add_scenario_arguments(
         help="enable the failure-verification protocol (suspicion "
         "quorum, dispatcher probes, on-site checks)",
     )
+    parser.add_argument(
+        "--adaptive-verify",
+        action="store_true",
+        help="scale the verification quorum and suspicion/probe "
+        "timeouts from observed channel loss (requires --verify)",
+    )
+    parser.add_argument(
+        "--coop-repair",
+        action="store_true",
+        help="auction over-threshold robot backlogs to under-loaded "
+        "robots (cooperative backlog repair)",
+    )
+    parser.add_argument(
+        "--jam-aware",
+        action="store_true",
+        help="plan robot travel around live jam disks with tangent "
+        "detours",
+    )
 
 
 def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
@@ -597,6 +618,12 @@ def _config_from_args(args: argparse.Namespace, algorithm: str):
         overrides["jam_loss_rate"] = args.jam_loss
     if getattr(args, "verify", False):
         overrides["verify_failures"] = True
+    if getattr(args, "adaptive_verify", False):
+        overrides["adaptive_verify"] = True
+    if getattr(args, "coop_repair", False):
+        overrides["coop_repair"] = True
+    if getattr(args, "jam_aware", False):
+        overrides["jam_aware"] = True
     return paper_scenario(
         algorithm,
         args.robots,
@@ -720,6 +747,16 @@ def _command_figure(args: argparse.Namespace) -> int:
             sim_time_s=args.sim_time,
             robot_speed_mps=args.speed,
         )
+    elif args.number == "degraded":
+        figure = generator(
+            robot_count=args.robots[0],
+            seeds=tuple(args.seeds),
+            sim_time_s=args.sim_time,
+            parallel=bool(args.jobs and args.jobs > 1),
+            store=store,
+            max_workers=args.jobs,
+            robot_speed_mps=args.speed,
+        )
     elif args.number == "verification":
         figure = generator(
             robot_count=args.robots[0],
@@ -751,6 +788,7 @@ def _command_figure(args: argparse.Namespace) -> int:
             "2": "average traveling distance per failure (m)",
             "3": "average number of hops per failure",
             "4": "transmissions for location update per failure",
+            "degraded": "mean repair latency (s)",
             "resilience": "unrepaired failure fraction",
             "verification": "false dispatches per run",
         }
@@ -808,6 +846,12 @@ _FAULT_TIMELINE_CATEGORIES = (
     "probe_answered",
     "aborted_replacement",
     "false_replacement",
+    "adaptive_mode",
+    "coop_offer",
+    "coop_claim",
+    "coop_release",
+    "coop_released",
+    "reroute",
 )
 
 

@@ -216,6 +216,21 @@ class DispatchDesk:
         """Is a dispatch for *failed_id* currently being watched?"""
         return failed_id in self._pending
 
+    def is_dead(self, robot_id: NodeId) -> bool:
+        """Has this desk declared *robot_id* dead?"""
+        return robot_id in self._dead
+
+    def reassign_pending(self, failed_id: NodeId, robot_id: NodeId) -> None:
+        """Point an in-flight dispatch watch at a new custodian.
+
+        Cooperative repair moves a queued item between robots; the
+        completion deadline (resilience mode) must then blame the
+        helper, not the origin, if the repair goes silent.
+        """
+        pending = self._pending.get(failed_id)
+        if pending is not None:
+            pending.robot_id = robot_id
+
     def _dispatch(
         self,
         notice: FailureNotice,

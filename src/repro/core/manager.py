@@ -14,6 +14,8 @@ import typing
 
 from repro.core.dispatch import DispatchDesk
 from repro.core.messages import (
+    BacklogAccept,
+    BacklogOffer,
     CompletionNotice,
     FailureNotice,
     Heartbeat,
@@ -94,6 +96,15 @@ class CentralManagerNode(NetworkNode):
                 self.register_robot(payload.node_id, payload.position)
         elif isinstance(payload, Heartbeat):
             self._handle_heartbeat(payload)
+        elif isinstance(payload, BacklogOffer):
+            # Cooperative backlog repair: broker the auction.
+            coop = self.runtime.coop
+            if coop is not None:
+                coop.handle_offer(self.desk, payload)
+        elif isinstance(payload, BacklogAccept):
+            coop = self.runtime.coop
+            if coop is not None:
+                coop.handle_accept(self, payload)
 
     def _handle_heartbeat(self, heartbeat: Heartbeat) -> None:
         service = self.runtime.resilience

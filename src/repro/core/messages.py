@@ -23,6 +23,10 @@ from repro.geometry.point import Point
 from repro.net.frames import NodeId
 
 __all__ = [
+    "BacklogAccept",
+    "BacklogClaim",
+    "BacklogOffer",
+    "BacklogRelease",
     "CompletionNotice",
     "Confidence",
     "FailureNotice",
@@ -188,6 +192,71 @@ class SuspicionVote:
     voter_id: NodeId
     corroborate: bool
     last_heard: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BacklogOffer:
+    """An overloaded robot's plea to its dispatcher (degraded-mode
+    extension): auction one of my surplus queue items to a peer.
+
+    Only sent when a dispatch desk exists (centralized algorithm, or an
+    acting manager after failover); the distributed algorithms let the
+    overloaded robot run the auction itself with :class:`BacklogClaim`.
+    """
+
+    failed_id: NodeId
+    failed_position: Point
+    origin_id: NodeId
+    origin_position: Point
+    notice: FailureNotice
+    sent_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BacklogClaim:
+    """The auctioneer's bounded claim: "take this backlog item?".
+
+    ``reply_to_id`` addresses the auctioneer (the desk host in
+    centralized mode, the overloaded robot itself in the distributed
+    algorithms); the helper answers with :class:`BacklogAccept` or
+    stays silent (silence times out after ``coop_claim_timeout_s``).
+    """
+
+    failed_id: NodeId
+    failed_position: Point
+    origin_id: NodeId
+    origin_position: Point
+    reply_to_id: NodeId
+    reply_to_position: Point
+    notice: FailureNotice
+    sent_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BacklogAccept:
+    """A helper's acceptance of a :class:`BacklogClaim` — it has
+    enqueued the item and will repair it."""
+
+    failed_id: NodeId
+    helper_id: NodeId
+    origin_id: NodeId
+    sent_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BacklogRelease:
+    """The desk's instruction to the overloaded robot to drop the item
+    a helper accepted.
+
+    Loss-safe: a lost release leaves the item queued at both robots,
+    and the second arrival skips an already-repaired sensor — duplicate
+    work, never a dropped failure.
+    """
+
+    failed_id: NodeId
+    origin_id: NodeId
+    helper_id: NodeId
+    sent_time: float
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -27,6 +27,10 @@ import dataclasses
 import typing
 
 from repro.core.messages import (
+    BacklogAccept,
+    BacklogClaim,
+    BacklogOffer,
+    BacklogRelease,
     CompletionNotice,
     Confidence,
     FailureNotice,
@@ -151,6 +155,28 @@ class RobotNode(NetworkNode):
             service = self.runtime.resilience
             if service is not None:
                 service.note_ack(payload.robot_id)
+        elif isinstance(payload, BacklogOffer):
+            # Cooperative repair, desk mode: only an acting manager
+            # brokers offers (the static manager handles its own).
+            coop = self.runtime.coop
+            if (
+                coop is not None
+                and self.acting_manager
+                and self.desk is not None
+            ):
+                coop.handle_offer(self.desk, payload)
+        elif isinstance(payload, BacklogClaim):
+            coop = self.runtime.coop
+            if coop is not None:
+                coop.handle_claim(self, payload)
+        elif isinstance(payload, BacklogAccept):
+            coop = self.runtime.coop
+            if coop is not None:
+                coop.handle_accept(self, payload)
+        elif isinstance(payload, BacklogRelease):
+            coop = self.runtime.coop
+            if coop is not None:
+                coop.handle_release(self, payload)
 
     def _handle_failure_notice(
         self, notice: FailureNotice, packet: Packet
@@ -255,6 +281,9 @@ class RobotNode(NetworkNode):
         self._queue.append(task)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
+        coop = self.runtime.coop
+        if coop is not None:
+            coop.note_backlog(self)
 
     @property
     def queue_length(self) -> int:
@@ -274,6 +303,53 @@ class RobotNode(NetworkNode):
         ):
             return True
         return any(task.failed_id == failed_id for task in self._queue)
+
+    # ------------------------------------------------------------------
+    # Cooperative backlog repair (degraded-mode extension)
+    # ------------------------------------------------------------------
+    def peek_surplus(self) -> typing.Optional[RepairTask]:
+        """The queued job this robot would auction away (its newest —
+        FCFS order for the work it keeps is preserved)."""
+        if not self._queue:
+            return None
+        return self._queue[-1]
+
+    def remove_queued(self, failed_id: NodeId) -> bool:
+        """Drop a queued (not in-progress) job a helper took over."""
+        for task in self._queue:
+            if task.failed_id == failed_id:
+                self._queue.remove(task)
+                # Forget the case so a later, genuine re-report of the
+                # same node (e.g. the helper also lost it) is accepted.
+                self._handled.discard(failed_id)
+                return True
+        return False
+
+    def accept_coop_task(self, claim: "BacklogClaim") -> bool:
+        """Helper-side intake for an auctioned backlog item.
+
+        Declines (by returning False — the claim then times out at the
+        auctioneer) when this robot is itself at or over the backlog
+        threshold, so a transfer can never push the helper over the
+        line and cascade into auction ping-pong.
+        """
+        if not self.alive or self.down:
+            return False
+        if self.runtime.already_repaired(claim.failed_id):
+            return False
+        threshold = self.runtime.config.coop_backlog_threshold
+        if self.queue_length >= threshold:
+            return False
+        if not self._accept_failure(claim.failed_id):
+            return False
+        self.enqueue(
+            RepairTask(
+                failed_id=claim.failed_id,
+                position=claim.failed_position,
+                notice=claim.notice,
+            )
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Faults (resilience extension)
@@ -456,9 +532,12 @@ class RobotNode(NetworkNode):
                 continue
             task = self._queue.popleft()
             self._current_task = task
+            coop = self.runtime.coop
+            if coop is not None:
+                coop.note_backlog(self)
             if self._skip_repaired(task):
                 continue
-            leg_distance = yield from self._drive_to(task.position)
+            leg_distance = yield from self._travel_to(task.position)
             if self.down or self._current_task is not task:
                 continue  # Broke down (or lost the job) on the way.
             if self.service_time > 0:
@@ -515,6 +594,47 @@ class RobotNode(NetworkNode):
         self._handled.discard(task.failed_id)
         self._report_completion(task, verified_alive=True)
         return True
+
+    def _travel_to(self, target: Point) -> typing.Generator:
+        """Drive to *target*, detouring around active jam disks.
+
+        With jam-aware dispatch off (no planner) this is exactly
+        :meth:`_drive_to`.  With it on, the route is planned once at
+        departure against the live fault field and driven leg by leg;
+        the returned distance is the **summed multi-leg path length**,
+        so a trip later aborted on site charges the actual detour
+        metres to ``wasted_travel_m``, not the straight-line distance.
+        """
+        planner = self.runtime.jam_planner
+        if planner is None:
+            travelled = yield from self._drive_to(target)
+            return travelled
+        route = planner.plan(self.position, target)
+        if len(route) <= 1:
+            travelled = yield from self._drive_to(target)
+            return travelled
+        straight = self.position.distance_to(target)
+        planned = self.position.distance_to(route[0]) + sum(
+            route[i].distance_to(route[i + 1])
+            for i in range(len(route) - 1)
+        )
+        detour = max(0.0, planned - straight)
+        self.runtime.metrics.record_reroute(self.node_id, detour)
+        if self.tracer.active:
+            self.tracer.emit(
+                "reroute",
+                time=self.sim.now,
+                robot=self.node_id,
+                waypoints=len(route) - 1,
+                detour_m=round(detour, 3),
+            )
+        travelled = 0.0
+        for waypoint in route:
+            leg = yield from self._drive_to(waypoint)
+            travelled += leg
+            if self.down:
+                break
+        return travelled
 
     def _drive_to(
         self, target: Point, abort_on_work: bool = False
@@ -579,7 +699,10 @@ class RobotNode(NetworkNode):
         if (
             config.dispatch_policy == DispatchPolicy.CLOSEST
             and not config.resilience_enabled
+            and not config.coop_repair
         ):
+            # Baseline closest-robot dispatch needs no feedback; coop
+            # repair does (the desk's load view picks helpers).
             return
         if self.manager_id is None or self.manager_position is None:
             return

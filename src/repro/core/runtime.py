@@ -39,6 +39,11 @@ from repro.deploy.scenario import (
     PlacementStyle,
     ScenarioConfig,
 )
+from repro.faults.adaptive import (
+    AdaptiveVerification,
+    CoopRepairService,
+    JamAwarePlanner,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.network import NetworkFaultService
 from repro.faults.recovery import ResilienceService
@@ -132,6 +137,18 @@ class ScenarioRuntime:
             NetworkFaultService(self)
             if config.network_faults_enabled
             else None
+        )
+        # Degraded-mode adaptation (extension): each controller exists
+        # only when its flag is on, so with all three off no adaptive
+        # code runs and every trace stays bit-identical to baseline.
+        self.adaptive: typing.Optional[AdaptiveVerification] = (
+            AdaptiveVerification(self) if config.adaptive_verify else None
+        )
+        self.coop: typing.Optional[CoopRepairService] = (
+            CoopRepairService(self) if config.coop_repair else None
+        )
+        self.jam_planner: typing.Optional[JamAwarePlanner] = (
+            JamAwarePlanner(self) if config.jam_aware else None
         )
 
     # ------------------------------------------------------------------
@@ -288,6 +305,8 @@ class ScenarioRuntime:
             self.faults.start()
         if self.network_faults is not None:
             self.network_faults.start()
+        if self.adaptive is not None:
+            self.adaptive.start()
 
     def _start_beaconing(self, sensor: SensorNode) -> None:
         service = BeaconService(
@@ -492,6 +511,34 @@ class ScenarioRuntime:
             if isinstance(node, SensorNode):
                 node.note_alive(survivor.node_id, survivor.position)
 
+    # ------------------------------------------------------------------
+    # Verification knobs (adaptive when the controller exists)
+    # ------------------------------------------------------------------
+    def suspicion_timeout_s(self, sensor: SensorNode) -> float:
+        """How long *sensor* waits before resolving a suspicion case.
+
+        Exactly ``config.verification_timeout_s`` unless adaptive
+        verification is on, in which case the observed-loss controller
+        scales it (shorter on clean channels, longer under jams).
+        """
+        base = self.config.verification_timeout_s
+        if self.adaptive is None:
+            return base
+        return self.adaptive.suspicion_timeout_s(base)
+
+    def probe_deadline_s(self) -> float:
+        """How long a dispatcher waits on an are-you-alive probe."""
+        base = 2.0 * self.config.verification_timeout_s
+        if self.adaptive is None:
+            return base
+        return self.adaptive.probe_deadline_s(base)
+
+    def verification_quorum_for(self, sensor: SensorNode) -> int:
+        """The corroboration quorum for a suspicion raised by *sensor*."""
+        if self.adaptive is None:
+            return self.config.verification_quorum
+        return self.adaptive.quorum_for(sensor)
+
     def sensor_is_alive(self, node_id: NodeId) -> bool:
         """Ground truth: is the sensor with *node_id* currently alive?"""
         sensor = self.sensors.get(node_id)
@@ -568,6 +615,10 @@ class ScenarioRuntime:
             )
         if self.resilience is not None:
             self.resilience.on_robot_recovered(robot)
+        if self.coop is not None:
+            # Post-outage auction kick: the fresh helper's availability
+            # lets overloaded peers retry exhausted auctions.
+            self.coop.note_recovery(robot)
 
     def fail_manager(self, downtime_s: typing.Optional[float]) -> None:
         """Kill the central manager (centralized algorithm only)."""
@@ -620,6 +671,11 @@ class ScenarioRuntime:
         )
         if self.resilience is not None:
             self.resilience.on_manager_recovered()
+        if self.coop is not None:
+            # The restored desk can broker offers again: overloaded
+            # robots re-evaluate the backlog the outage left behind.
+            for robot in self.robots_sorted():
+                self.coop.note_backlog(robot)
 
     def dispatching_desk(self) -> typing.Optional[typing.Any]:
         """The currently authoritative dispatch desk, if any.

@@ -364,8 +364,10 @@ class SensorNode(NetworkNode):
                 sent_time=now,
             ),
         )
+        # Adaptive verification scales this window with observed loss;
+        # with the controller off it is exactly verification_timeout_s.
         self.sim.call_in(
-            self.runtime.config.verification_timeout_s,
+            self.runtime.suspicion_timeout_s(self),
             lambda: self._resolve_suspicion(failed_id),
         )
 
@@ -433,13 +435,34 @@ class SensorNode(NetworkNode):
         )
         confidence = (
             Confidence.CORROBORATED
-            if corroborations >= self.runtime.config.verification_quorum
+            if corroborations >= self.runtime.verification_quorum_for(self)
             else Confidence.SUSPECTED
         )
         self.runtime.metrics.record_suspicion_resolved(
             failed_id, now, latency, confidence
         )
         self._declare_failure(failed_id, suspicion.position, confidence)
+
+    def stale_neighbor_fraction(self, timeout_s: float) -> float:
+        """Fraction of current beacon peers silent for over *timeout_s*.
+
+        The adaptive-verification controller's per-neighbourhood jam
+        signal: a guardian that has stopped hearing most of the
+        neighbours still in its table is probably inside an interference
+        region even when the network-wide loss ratio looks clean.  Only
+        nodes still present in the neighbour table count, so long-dead
+        (removed) sensors do not inflate the fraction.
+        """
+        now = self.sim.now
+        tracked = [
+            heard
+            for node_id, heard in self._last_beacon.items()
+            if node_id in self.neighbor_table
+        ]
+        if not tracked:
+            return 0.0
+        stale = sum(1 for heard in tracked if now - heard > timeout_s)
+        return stale / len(tracked)
 
     def note_alive(self, node_id: NodeId, position: Point) -> None:
         """Undo any declaration about *node_id*: it is provably alive.

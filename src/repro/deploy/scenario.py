@@ -229,6 +229,32 @@ class ScenarioConfig:
     #: dispatcher's probe deadline).
     verification_timeout_s: float = 30.0
 
+    # --- degraded-mode adaptation (extension; defaults keep every
+    # code path bit-identical to the non-adaptive simulator) -----------
+    #: Scale the verification quorum and timeouts from observed channel
+    #: loss: tighten on clean channels (faster verification), widen
+    #: under jams (keep false replacements at zero).  Requires
+    #: :attr:`verify_failures`.
+    adaptive_verify: bool = False
+    #: Cooperative backlog repair: an overloaded robot auctions its
+    #: surplus queue items to under-loaded peers through a bounded
+    #: claim protocol over routed messages.
+    coop_repair: bool = False
+    #: Jam-aware travel: robots plan tangent-segment detours around
+    #: active jam disks so they stay reachable for abort/verification
+    #: messages while en route.
+    jam_aware: bool = False
+    #: Observation window of the adaptive loss estimator (seconds).
+    adaptation_window_s: float = 120.0
+    #: Upper bound for the widened verification quorum.
+    adaptive_quorum_max: int = 4
+    #: Queue length above which a robot starts auctioning backlog.
+    coop_backlog_threshold: int = 2
+    #: Patience per auction candidate before moving on (bounded claim).
+    coop_claim_timeout_s: float = 60.0
+    #: Clearance kept outside a jam disk when planning detours.
+    jam_detour_margin_m: float = 10.0
+
     def __post_init__(self) -> None:
         if self.algorithm not in Algorithm.ALL:
             raise ValueError(f"unknown algorithm: {self.algorithm!r}")
@@ -336,6 +362,36 @@ class ScenarioConfig:
                 "verification timeout must be positive: "
                 f"{self.verification_timeout_s}"
             )
+        if self.adaptive_verify and not self.verify_failures:
+            raise ValueError(
+                "adaptive_verify scales the verification ladder and "
+                "requires verify_failures=True"
+            )
+        if self.adaptation_window_s <= 0:
+            raise ValueError(
+                "adaptation window must be positive: "
+                f"{self.adaptation_window_s}"
+            )
+        if self.adaptive_quorum_max < 1:
+            raise ValueError(
+                "adaptive quorum cap must be >= 1: "
+                f"{self.adaptive_quorum_max}"
+            )
+        if self.coop_backlog_threshold < 1:
+            raise ValueError(
+                "cooperative backlog threshold must be >= 1: "
+                f"{self.coop_backlog_threshold}"
+            )
+        if self.coop_claim_timeout_s <= 0:
+            raise ValueError(
+                "cooperative claim timeout must be positive: "
+                f"{self.coop_claim_timeout_s}"
+            )
+        if self.jam_detour_margin_m < 0:
+            raise ValueError(
+                "jam detour margin must be non-negative: "
+                f"{self.jam_detour_margin_m}"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -401,6 +457,11 @@ class ScenarioConfig:
         if self.resilience is not None:
             return self.resilience
         return self.faults_enabled
+
+    @property
+    def degraded_mode_enabled(self) -> bool:
+        """True when any degraded-mode adaptation is switched on."""
+        return self.adaptive_verify or self.coop_repair or self.jam_aware
 
     @property
     def effective_repair_deadline_s(self) -> float:
@@ -494,6 +555,15 @@ class ScenarioConfig:
                 f" | verify: quorum={self.verification_quorum}, "
                 f"timeout={self.verification_timeout_s:.0f}s"
             )
+        if self.degraded_mode_enabled:
+            modes = []
+            if self.adaptive_verify:
+                modes.append("adaptive-verify")
+            if self.coop_repair:
+                modes.append("coop-repair")
+            if self.jam_aware:
+                modes.append("jam-aware")
+            text += " | degraded: " + ", ".join(modes)
         return text
 
 

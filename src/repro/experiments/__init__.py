@@ -14,6 +14,10 @@ from repro.experiments.figures import (
     figure3_hops,
     figure4_update_transmissions,
 )
+from repro.experiments.degraded import (
+    default_degraded_campaign,
+    figure_degraded,
+)
 from repro.experiments.render import render_series_table, render_table
 from repro.experiments.resilience import (
     figure_resilience,
@@ -47,7 +51,9 @@ __all__ = [
     "figure2_motion_overhead",
     "figure3_hops",
     "figure4_update_transmissions",
+    "default_degraded_campaign",
     "default_network_campaign",
+    "figure_degraded",
     "figure_resilience",
     "figure_resilience_permanence",
     "figure_verification",

@@ -16,6 +16,11 @@ functions of the :class:`~repro.deploy.ScenarioConfig` plus the seed:
 failure declaration, manager failover, and repair reconciliation.
 """
 
+from repro.faults.adaptive import (
+    AdaptiveVerification,
+    CoopRepairService,
+    JamAwarePlanner,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.model import ExponentialFaultModel
 from repro.faults.network import (
@@ -36,11 +41,14 @@ from repro.faults.script import (
 from repro.faults.verify import ProbeCoordinator
 
 __all__ = [
+    "AdaptiveVerification",
+    "CoopRepairService",
     "ExponentialFaultModel",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultRegion",
+    "JamAwarePlanner",
     "NetworkFaultField",
     "NetworkFaultService",
     "ProbeCoordinator",

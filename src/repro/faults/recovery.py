@@ -220,6 +220,10 @@ class ResilienceService:
         desk = self.runtime.dispatching_desk()
         if desk is not None:
             desk.on_robot_declared_dead(robot_id)
+        if self.runtime.coop is not None:
+            # Claim rounds waiting on the dead robot advance now rather
+            # than waiting out their silence timeout.
+            self.runtime.coop.note_robot_dead(robot_id)
         self.runtime.coordination.on_robot_declared_dead(
             monitor, robot_id, self.last_position.get(robot_id)
         )

@@ -88,8 +88,11 @@ class ProbeCoordinator:
                 sent_time=now,
             ),
         )
+        # Adaptive verification scales the deadline with observed loss;
+        # with the controller off this is exactly twice the
+        # verification timeout, as before.
         self.host.sim.call_in(
-            2.0 * runtime.config.verification_timeout_s,
+            runtime.probe_deadline_s(),
             lambda: self._deadline(failed_id),
         )
 

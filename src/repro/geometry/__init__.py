@@ -5,6 +5,13 @@ deployment field, implemented from scratch (no scipy dependency in the
 library itself; scipy is only used by tests as an oracle).
 """
 
+from repro.geometry.detour import (
+    detour_around,
+    plan_route,
+    polyline_length,
+    segment_crosses_disk,
+    segment_distance_to_point,
+)
 from repro.geometry.partition import (
     Partition,
     SquarePartition,
@@ -32,7 +39,12 @@ __all__ = [
     "centroid_of",
     "closest_site",
     "closest_site_index",
+    "detour_around",
     "midpoint",
+    "plan_route",
+    "polyline_length",
+    "segment_crosses_disk",
+    "segment_distance_to_point",
     "voronoi_cell",
     "voronoi_cells",
 ]

@@ -153,6 +153,14 @@ class MetricsCollector:
         self.probes_sent = 0
         self.probes_answered = 0
         self._verification_latencies: typing.List[float] = []
+        #: Degraded-mode counters (all stay zero when the adaptive
+        #: layer is off).
+        self.coop_offers = 0
+        self.coop_claims = 0
+        self._backlog_drains: typing.List[float] = []
+        self.reroutes = 0
+        self.reroute_detour_m = 0.0
+        self._adaptive_quorums: typing.Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -322,6 +330,36 @@ class MetricsCollector:
         return list(self._false_dispatches)
 
     # ------------------------------------------------------------------
+    # Recording: degraded-mode adaptation (adaptive extension)
+    # ------------------------------------------------------------------
+    def record_coop_offer(self, failed_id: str, origin_id: str) -> None:
+        """An overloaded robot put a backlog item up for auction."""
+        self.coop_offers += 1
+
+    def record_coop_claim(
+        self, failed_id: str, origin_id: str, helper_id: str
+    ) -> None:
+        """A helper accepted an auctioned backlog item."""
+        self.coop_claims += 1
+
+    def record_backlog_drain(
+        self, robot_id: str, duration_s: float
+    ) -> None:
+        """A robot's backlog episode drained back under the threshold."""
+        self._backlog_drains.append(duration_s)
+
+    def record_reroute(self, robot_id: str, detour_m: float) -> None:
+        """A robot leg detoured around jam disks by *detour_m* metres."""
+        self.reroutes += 1
+        self.reroute_detour_m += detour_m
+
+    def record_adaptive_quorum(self, quorum: int) -> None:
+        """The adaptive controller resolved a suspicion at *quorum*."""
+        self._adaptive_quorums[quorum] = (
+            self._adaptive_quorums.get(quorum, 0) + 1
+        )
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def records(self) -> typing.List[FailureRecord]:
@@ -416,6 +454,18 @@ class MetricsCollector:
             mean_verification_latency_s=_mean(
                 self._verification_latencies
             ),
+            coop_offers=self.coop_offers,
+            coop_claims=self.coop_claims,
+            backlog_episodes=len(self._backlog_drains),
+            mean_backlog_drain_s=_mean(self._backlog_drains),
+            reroutes=self.reroutes,
+            reroute_detour_m=self.reroute_detour_m,
+            adaptive_quorum_histogram={
+                str(quorum): count
+                for quorum, count in sorted(
+                    self._adaptive_quorums.items()
+                )
+            },
         )
 
 
@@ -462,6 +512,19 @@ class RunReport:
     #: Metres driven on false-dispatch trips.
     wasted_travel_m: float = 0.0
     mean_verification_latency_s: float = float("nan")
+    #: Degraded-mode metrics (adaptive extension; all zero/NaN/empty
+    #: when the adaptive layer is disabled).
+    coop_offers: int = 0
+    coop_claims: int = 0
+    backlog_episodes: int = 0
+    mean_backlog_drain_s: float = float("nan")
+    reroutes: int = 0
+    reroute_detour_m: float = 0.0
+    #: Quorum value → number of suspicions resolved at that quorum
+    #: (keys are strings so the histogram is JSON-native).
+    adaptive_quorum_histogram: typing.Dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def unrepaired_fraction(self) -> float:
@@ -512,6 +575,15 @@ class RunReport:
                 f"(aborted {self.aborted_replacements}, "
                 f"replaced-alive {self.false_replacements}); "
                 f"wasted travel: {self.wasted_travel_m:.1f} m"
+            )
+        if self.coop_offers or self.reroutes or self.backlog_episodes:
+            lines.append(
+                f"coop repair: {self.coop_claims}/{self.coop_offers} "
+                f"offers claimed; backlog episodes: "
+                f"{self.backlog_episodes} "
+                f"(mean drain {self.mean_backlog_drain_s:.1f} s); "
+                f"reroutes: {self.reroutes} "
+                f"({self.reroute_detour_m:.1f} m detour)"
             )
         return lines
 

@@ -27,7 +27,10 @@ __all__ = [
 ]
 
 #: Version of the export document layout.
-EXPORT_SCHEMA_VERSION = 1
+#:
+#: v2 added the degraded-mode scenario flags (``adaptive_verify``,
+#: ``coop_repair``, ``jam_aware``) and the ``degraded`` counter family.
+EXPORT_SCHEMA_VERSION = 2
 
 #: Headline metrics plotted as per-algorithm series over robot counts
 #: (the x-axis of every figure in the paper).
@@ -82,6 +85,20 @@ def _verification_counters(
     }
 
 
+def _degraded_counters(report: RunReport) -> typing.Dict[str, typing.Any]:
+    return {
+        "coop_offers": report.coop_offers,
+        "coop_claims": report.coop_claims,
+        "backlog_episodes": report.backlog_episodes,
+        "mean_backlog_drain_s": report.mean_backlog_drain_s,
+        "reroutes": report.reroutes,
+        "reroute_detour_m": report.reroute_detour_m,
+        "adaptive_quorum_histogram": dict(
+            sorted(report.adaptive_quorum_histogram.items())
+        ),
+    }
+
+
 def export_entry(entry: StoreEntry) -> typing.Dict[str, typing.Any]:
     """One store entry as a flat dashboard document (strict JSON)."""
     config = entry.config
@@ -103,6 +120,9 @@ def export_entry(entry: StoreEntry) -> typing.Dict[str, typing.Any]:
             "loss_rate": config.loss_rate,
             "faults_enabled": config.faults_enabled,
             "verify_failures": config.verify_failures,
+            "adaptive_verify": config.adaptive_verify,
+            "coop_repair": config.coop_repair,
+            "jam_aware": config.jam_aware,
         },
         "headline": report.headline(),
         "transmissions_by_category": dict(
@@ -110,6 +130,7 @@ def export_entry(entry: StoreEntry) -> typing.Dict[str, typing.Any]:
         ),
         "faults": _fault_counters(report),
         "verification": _verification_counters(report),
+        "degraded": _degraded_counters(report),
         "provenance": {
             "created_unix": manifest.get("created_unix"),
             "duration_s": manifest.get("duration_s"),

@@ -63,6 +63,70 @@ class TestFaultLiveness:
         )
 
 
+class TestCoopRepairLiveness:
+    """Liveness survives cooperative backlog repair under long outages.
+
+    A scripted campaign takes three of the four robots down for a long
+    stretch, dumping their work on the survivor; with ``coop_repair``
+    on, the recovered fleet auctions the backlog around.  Transfers,
+    lost releases, and duplicate custody must never turn into a
+    silently dropped failure: everything old enough to have exhausted
+    the redispatch/escalation ladder is repaired or orphaned — and a
+    repair is never recorded twice for one failure.
+    """
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @settings(max_examples=2, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        loss_rate=st.sampled_from([0.02, 0.05]),
+    )
+    def test_outage_backlog_resolves_with_cooperation(
+        self, algorithm, seed, loss_rate
+    ):
+        outage = tuple(
+            {
+                "time": 800.0 + 100.0 * index,
+                "target": f"robot-{index:02d}",
+                "kind": "breakdown",
+                "duration": 2_500.0,
+            }
+            for index in range(3)
+        )
+        config = paper_scenario(
+            algorithm,
+            4,
+            seed=seed,
+            sensors_per_robot=25,
+            placement="grid",
+            sim_time_s=10_000.0,
+            loss_rate=loss_rate,
+            fault_script=outage,
+            robot_downtime_s=600.0,
+            repair_deadline_s=400.0,
+            redispatch_backoff_s=60.0,
+            heartbeat_period_s=30.0,
+            coop_repair=True,
+        )
+        runtime = ScenarioRuntime(config)
+        report = runtime.run()
+        assert report.failures > 0
+        assert report.robot_faults >= 3  # the outage actually ran
+        ladder = runtime.resilience.give_up_age_s
+        margin = (MAX_ESCALATIONS + 1) * ladder + 1_000.0
+        unresolved = [
+            record
+            for record in runtime.metrics.records()
+            if record.death_time < config.sim_time_s - margin
+            and not record.repaired
+            and record.orphan_time is None
+        ]
+        assert unresolved == [], (
+            f"{algorithm} seed={seed} loss={loss_rate}: silently "
+            f"dropped: {[record.node_id for record in unresolved]}"
+        )
+
+
 class TestVerifiedDispatchSafety:
     """Verification safety: no live-at-dispatch sensor is ever replaced.
 

@@ -75,6 +75,57 @@ class TestExportEntry:
         for metric in SERIES_METRICS:
             assert metric in headline
 
+    def test_scenario_exports_degraded_flags(self, tmp_path):
+        config = paper_scenario(
+            Algorithm.CENTRALIZED,
+            4,
+            seed=3,
+            sim_time_s=2_000.0,
+            verify_failures=True,
+            adaptive_verify=True,
+            coop_repair=True,
+            jam_aware=True,
+        )
+        store = RunStore(tmp_path)
+        entry = store.load(store.put(config, make_report()))
+        scenario = export_entry(entry)["scenario"]
+        assert scenario["adaptive_verify"] is True
+        assert scenario["coop_repair"] is True
+        assert scenario["jam_aware"] is True
+
+    def test_degraded_counters_round_trip(self, tmp_path):
+        report = make_report(
+            coop_offers=7,
+            coop_claims=3,
+            backlog_episodes=4,
+            mean_backlog_drain_s=412.5,
+            reroutes=2,
+            reroute_detour_m=88.75,
+            adaptive_quorum_histogram={"3": 12, "2": 40},
+        )
+        store = RunStore(tmp_path)
+        entry = store.load(store.put(CONFIG, report, duration_s=1.0))
+        document = json.loads(
+            json.dumps(export_entry(entry), allow_nan=False)
+        )
+        degraded = document["degraded"]
+        assert degraded == {
+            "coop_offers": 7,
+            "coop_claims": 3,
+            "backlog_episodes": 4,
+            "mean_backlog_drain_s": 412.5,
+            "reroutes": 2,
+            "reroute_detour_m": 88.75,
+            "adaptive_quorum_histogram": {"2": 40, "3": 12},
+        }
+
+    def test_degraded_nan_drain_becomes_null(self, entry):
+        # The default report never opened a backlog episode, so the
+        # mean drain is NaN — strict JSON must carry it as null.
+        document = export_entry(entry)
+        assert document["degraded"]["mean_backlog_drain_s"] is None
+        assert document["degraded"]["coop_offers"] == 0
+
 
 class TestExportRuns:
     def test_series_averages_replicates(self, tmp_path):
