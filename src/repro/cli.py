@@ -1135,6 +1135,19 @@ def _command_bench(args: argparse.Namespace) -> int:
                 )
                 merged = {}
         merged["microbenchmarks"] = results
+        # Mirror the kernel-vs-scalar and sweep entries into dedicated
+        # sections so before/after comparisons don't have to fish them
+        # out of the flat microbenchmark map.
+        merged["geometry_kernels"] = {
+            name: entry
+            for name, entry in results.items()
+            if name.startswith(("voronoi_membership", "distance_filter"))
+        }
+        merged["sweep_throughput"] = {
+            name: entry
+            for name, entry in results.items()
+            if name.startswith("sweep_")
+        }
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(merged, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -18,7 +18,7 @@ from repro.core.coordination.base import CoordinationStrategy
 from repro.core.messages import FloodMessage
 from repro.deploy.placement import uniform_random_positions
 from repro.geometry.point import Point
-from repro.geometry.voronoi import closest_site_index
+from repro.geometry.voronoi import closest_site_indices
 from repro.net.frames import Category, NodeId
 from repro.sim.rng import RandomStream
 
@@ -45,11 +45,16 @@ class DynamicStrategy(CoordinationStrategy):
         positions = [robot.position for robot in robots]
 
         # Deployment-time seed: every sensor knows the initial robot
-        # layout and adopts the closest robot as myrobot.
-        for sensor in self.runtime.sensors_sorted():
+        # layout and adopts the closest robot as myrobot.  Membership is
+        # resolved for all sensors in one flat-array kernel pass
+        # (bit-identical to the per-sensor closest_site_index loop).
+        sensors = self.runtime.sensors_sorted()
+        indices = closest_site_indices(
+            [sensor.position for sensor in sensors], positions
+        )
+        for sensor, index in zip(sensors, indices):
             for robot in robots:
                 sensor.known_robots[robot.node_id] = (robot.position, 0)
-            index = closest_site_index(sensor.position, positions)
             sensor.myrobot_id = robots[index].node_id
             sensor.myrobot_position = robots[index].position
 

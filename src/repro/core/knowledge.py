@@ -1,0 +1,180 @@
+"""Flat-array robot-knowledge table for sensors.
+
+Every sensor tracks the robots it has learned about from floods as
+``robot_id -> (position, seq)``.  The dominant query on that table is
+:meth:`RobotKnowledge.closest` — the dynamic algorithm's relay
+predicate calls it once per received location-update flood, which makes
+it the single hottest geometry loop in a dynamic-algorithm run.
+
+:class:`RobotKnowledge` therefore keeps two synchronized views:
+
+* ``_entries`` — the plain dict, serving the dict-shaped API
+  (``[]``/``get``/``pop``/``update``/``items``) the strategies and the
+  router's location-hint path already use;
+* ``_rows`` — prebuilt ``(robot_id, x, y, (robot_id, position))`` rows
+  scanned by :meth:`closest`.  Iterating existing row tuples beats
+  zipping parallel coordinate arrays in CPython (list iteration yields
+  the tuples with no per-element allocation), and the trailing pair is
+  the query's *result* tuple, built once per update instead of once per
+  query — the same layout :class:`~repro.net.spatial.SpatialGrid` uses
+  for its cell buckets.
+
+Mutations keep the rows in step incrementally (append on first sight,
+in-place overwrite on update, swap-remove on obituary), so the table
+never rebuilds.  Row order is *not* insertion order after a removal,
+which is safe because :meth:`closest` selects the lexicographic minimum
+of ``(d2, robot_id)`` — the same scan-order-independent result as the
+scalar dict loop it replaces, float op for float op (``dx = px - x;
+dy = py - y; dx*dx + dy*dy``, strict ``<`` update with an id
+tie-break).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.geometry.point import Point
+from repro.net.frames import NodeId
+
+__all__ = ["RobotKnowledge"]
+
+#: One table entry: last known position and flood sequence number.
+Entry = typing.Tuple[Point, int]
+
+#: One scan row: ``(robot_id, x, y, (robot_id, position))`` — flattened
+#: coordinates for the inner loop plus the prebuilt result pair.
+_Row = typing.Tuple[NodeId, float, float, typing.Tuple[NodeId, Point]]
+
+
+class RobotKnowledge:
+    """``robot_id -> (position, seq)`` with a flat-array nearest query."""
+
+    __slots__ = ("_entries", "_slots", "_rows")
+
+    def __init__(self) -> None:
+        self._entries: typing.Dict[NodeId, Entry] = {}
+        #: robot_id -> index into ``_rows``.
+        self._slots: typing.Dict[NodeId, int] = {}
+        self._rows: typing.List[_Row] = []
+
+    # ------------------------------------------------------------------
+    # Dict-shaped mutation / lookup API
+    # ------------------------------------------------------------------
+    def __setitem__(self, robot_id: NodeId, entry: Entry) -> None:
+        self._entries[robot_id] = entry
+        position = entry[0]
+        row = (robot_id, position.x, position.y, (robot_id, position))
+        slot = self._slots.get(robot_id)
+        if slot is None:
+            self._slots[robot_id] = len(self._rows)
+            self._rows.append(row)
+        else:
+            self._rows[slot] = row
+
+    def __getitem__(self, robot_id: NodeId) -> Entry:
+        return self._entries[robot_id]
+
+    def get(
+        self, robot_id: NodeId, default: typing.Optional[Entry] = None
+    ) -> typing.Optional[Entry]:
+        return self._entries.get(robot_id, default)
+
+    def pop(
+        self, robot_id: NodeId, default: typing.Optional[Entry] = None
+    ) -> typing.Optional[Entry]:
+        """Remove *robot_id* (swap-remove in the row list)."""
+        entry = self._entries.pop(robot_id, None)
+        if entry is None:
+            return default
+        slot = self._slots.pop(robot_id)
+        rows = self._rows
+        last = len(rows) - 1
+        if slot != last:
+            moved = rows[last]
+            rows[slot] = moved
+            self._slots[moved[0]] = slot
+        del rows[last]
+        return entry
+
+    def update(
+        self,
+        other: typing.Union[
+            "RobotKnowledge", typing.Mapping[NodeId, Entry]
+        ],
+    ) -> None:
+        for robot_id, entry in other.items():
+            self[robot_id] = entry
+
+    # ------------------------------------------------------------------
+    # Dict-shaped inspection API
+    # ------------------------------------------------------------------
+    def items(self) -> typing.ItemsView[NodeId, Entry]:
+        return self._entries.items()
+
+    def keys(self) -> typing.KeysView[NodeId]:
+        return self._entries.keys()
+
+    def __contains__(self, robot_id: object) -> bool:
+        return robot_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> typing.Iterator[NodeId]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return f"RobotKnowledge({self._entries!r})"
+
+    # ------------------------------------------------------------------
+    # The hot query
+    # ------------------------------------------------------------------
+    def closest(
+        self,
+        px: float,
+        py: float,
+        exclude: typing.Container[NodeId] = (),
+    ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
+        """The known robot nearest to ``(px, py)``, ids breaking ties.
+
+        Scalar reference: the original ``closest_known_robot`` dict
+        loop — squared distances via ``dx*dx + dy*dy``, strict ``<``
+        update, and on exact distance ties the smaller robot id wins.
+        That selection is a lexicographic minimum over ``(d2, id)``, so
+        the rows' swap-remove ordering cannot change the result.  The
+        returned pair is the row's prebuilt tuple, so the query
+        allocates nothing; the no-exclusions path (every call on the
+        relay hot path) skips the membership test entirely.
+        """
+        best_id: typing.Optional[NodeId] = None
+        best_pair: typing.Optional[typing.Tuple[NodeId, Point]] = None
+        best_d2 = float("inf")
+        if exclude:
+            for robot_id, x, y, pair in self._rows:
+                if robot_id in exclude:
+                    continue
+                dx = px - x
+                dy = py - y
+                d2 = dx * dx + dy * dy
+                if d2 < best_d2 or (
+                    d2 == best_d2
+                    and best_id is not None
+                    and robot_id < best_id
+                ):
+                    best_id = robot_id
+                    best_pair = pair
+                    best_d2 = d2
+        else:
+            for robot_id, x, y, pair in self._rows:
+                dx = px - x
+                dy = py - y
+                d2 = dx * dx + dy * dy
+                if d2 < best_d2 or (
+                    d2 == best_d2
+                    and best_id is not None
+                    and robot_id < best_id
+                ):
+                    best_id = robot_id
+                    best_pair = pair
+                    best_d2 = d2
+        return best_pair

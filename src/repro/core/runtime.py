@@ -30,13 +30,9 @@ from repro.core.robot import RepairTask, RobotNode
 from repro.core.sensor import SensorNode
 from repro.core.traffic import DataTrafficService
 from repro.deploy.failure import ExponentialLifetime, FailureProcess
-from repro.deploy.placement import (
-    connected_uniform_positions,
-    jittered_grid_positions,
-)
+from repro.deploy.placement_cache import sensor_positions_for
 from repro.deploy.scenario import (
     DetectionMode,
-    PlacementStyle,
     ScenarioConfig,
 )
 from repro.faults.adaptive import (
@@ -48,6 +44,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.network import NetworkFaultService
 from repro.faults.recovery import ResilienceService
 from repro.faults.script import FaultKind
+from repro.geometry.kernels import distances_to_point
 from repro.geometry.point import Point
 from repro.metrics.collector import MetricsCollector, RunReport
 from repro.net.beacon import BeaconService
@@ -156,18 +153,16 @@ class ScenarioRuntime:
     # ------------------------------------------------------------------
     def _build_nodes(self) -> None:
         config = self.config
-        placement_rng = self.streams.stream("placement")
-        if config.placement == PlacementStyle.GRID:
-            sensor_positions = jittered_grid_positions(
-                config.sensor_count, config.bounds, placement_rng
-            )
-        else:
-            sensor_positions = connected_uniform_positions(
-                config.sensor_count,
-                config.bounds,
-                sensor_radio().range_m,
-                placement_rng,
-            )
+        # Sensor placement comes from the per-process placement cache:
+        # configs sharing the placement-relevant subset (style, count,
+        # seed, field size, radio range) reuse one computed layout.
+        # The cache derives a fresh "placement" stream from the seed,
+        # which reproduces the draw sequence this method used to make
+        # bit-identically — the stream is dedicated to placement, so
+        # not advancing it here perturbs no other subsystem.
+        sensor_positions = sensor_positions_for(
+            config, sensor_radio().range_m
+        )
 
         for index, position in enumerate(sensor_positions):
             self._create_sensor(f"sensor-{index:04d}", position)
@@ -239,10 +234,19 @@ class ScenarioRuntime:
         """
         now = self.sim.now
         probe_range = max(node.radio.range_m, robot_radio().range_m)
-        for other in self.channel.nodes_within(
+        others = self.channel.nodes_within(
             node.position, probe_range, exclude=node.node_id
-        ):
-            distance = node.position.distance_to(other.position)
+        )
+        # One flat-array kernel pass computes every candidate distance
+        # (same math.hypot as Point.distance_to, so the reachability
+        # cutoffs below see bit-identical values).
+        distances = distances_to_point(
+            [other.position.x for other in others],
+            [other.position.y for other in others],
+            node.position.x,
+            node.position.y,
+        )
+        for other, distance in zip(others, distances):
             if distance <= other.radio.range_m:
                 node.neighbor_table.upsert(
                     other.node_id, other.position, other.kind, now

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.core.knowledge import RobotKnowledge
 from repro.core.messages import (
     Confidence,
     FailureNotice,
@@ -75,10 +76,10 @@ class SensorNode(NetworkNode):
         self.manager_id: typing.Optional[NodeId] = None
         self.manager_position: typing.Optional[Point] = None
 
-        #: Robot positions learned from floods: id -> (position, seq).
-        self.known_robots: typing.Dict[
-            NodeId, typing.Tuple[Point, int]
-        ] = {}
+        #: Robot positions learned from floods: id -> (position, seq),
+        #: held in a flat-array table so the closest-robot query (the
+        #: dynamic algorithm's relay predicate) runs kernel-style.
+        self.known_robots = RobotKnowledge()
         #: Fixed-algorithm subarea index of this sensor (None otherwise).
         self.subarea: typing.Optional[int] = None
 
@@ -581,20 +582,15 @@ class SensorNode(NetworkNode):
     def closest_known_robot(
         self, exclude: typing.Container[NodeId] = ()
     ) -> typing.Optional[typing.Tuple[NodeId, Point]]:
-        """The robot with the smallest known distance to this sensor."""
-        best: typing.Optional[typing.Tuple[NodeId, Point]] = None
-        best_d2 = float("inf")
-        position_of = self.position
-        for robot_id, (position, _seq) in self.known_robots.items():
-            if robot_id in exclude:
-                continue
-            d2 = position_of.squared_distance_to(position)
-            if d2 < best_d2 or (
-                d2 == best_d2 and best is not None and robot_id < best[0]
-            ):
-                best = (robot_id, position)
-                best_d2 = d2
-        return best
+        """The robot with the smallest known distance to this sensor.
+
+        Delegates to the knowledge table's flat-array scan — the same
+        squared-distance float ops and ``(d2, id)`` tie-break as the
+        dict loop this method used to run, without the per-robot
+        ``Point`` method calls.
+        """
+        position = self.position
+        return self.known_robots.closest(position.x, position.y, exclude)
 
     def location_hint(
         self, node_id: NodeId

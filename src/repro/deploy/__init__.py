@@ -14,6 +14,11 @@ from repro.deploy.placement import (
     jittered_grid_positions,
     uniform_random_positions,
 )
+from repro.deploy.placement_cache import (
+    placement_key,
+    reset_placement_cache,
+    sensor_positions_for,
+)
 from repro.deploy.scenario import (
     Algorithm,
     DetectionMode,
@@ -43,5 +48,8 @@ __all__ = [
     "is_connected",
     "jittered_grid_positions",
     "paper_scenario",
+    "placement_key",
+    "reset_placement_cache",
+    "sensor_positions_for",
     "uniform_random_positions",
 ]

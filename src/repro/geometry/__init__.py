@@ -12,6 +12,16 @@ from repro.geometry.detour import (
     segment_crosses_disk,
     segment_distance_to_point,
 )
+from repro.geometry.kernels import (
+    collect_entries_within_radius,
+    compile_nearest_site_kernel,
+    distances_to_point,
+    filter_within_radius,
+    in_disk_mask,
+    nearest_site_index,
+    nearest_site_indices,
+    segment_distances_to_points,
+)
 from repro.geometry.partition import (
     Partition,
     SquarePartition,
@@ -23,6 +33,7 @@ from repro.geometry.voronoi import (
     VoronoiDiagram,
     closest_site,
     closest_site_index,
+    closest_site_indices,
     voronoi_cell,
     voronoi_cells,
 )
@@ -39,12 +50,21 @@ __all__ = [
     "centroid_of",
     "closest_site",
     "closest_site_index",
+    "closest_site_indices",
+    "collect_entries_within_radius",
+    "compile_nearest_site_kernel",
     "detour_around",
+    "distances_to_point",
+    "filter_within_radius",
+    "in_disk_mask",
     "midpoint",
+    "nearest_site_index",
+    "nearest_site_indices",
     "plan_route",
     "polyline_length",
     "segment_crosses_disk",
     "segment_distance_to_point",
+    "segment_distances_to_points",
     "voronoi_cell",
     "voronoi_cells",
 ]

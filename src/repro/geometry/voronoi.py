@@ -15,6 +15,10 @@ from __future__ import annotations
 
 import typing
 
+from repro.geometry.kernels import (
+    compile_nearest_site_kernel,
+    nearest_site_indices,
+)
 from repro.geometry.point import Point
 from repro.geometry.polygon import ConvexPolygon, HalfPlane, Rect
 
@@ -24,6 +28,7 @@ __all__ = [
     "voronoi_cells",
     "closest_site",
     "closest_site_index",
+    "closest_site_indices",
 ]
 
 
@@ -87,6 +92,29 @@ def closest_site(point: Point, sites: typing.Sequence[Point]) -> Point:
     return sites[closest_site_index(point, sites)]
 
 
+def closest_site_indices(
+    points: typing.Sequence[Point],
+    sites: typing.Sequence[Point],
+) -> typing.List[int]:
+    """Nearest-site index for every point, in one flat-array pass.
+
+    Element-wise identical to :func:`closest_site_index` per point
+    (same squared-distance float ops, first site wins ties) — see
+    :func:`repro.geometry.kernels.nearest_site_indices`.
+
+    Raises
+    ------
+    ValueError
+        If *sites* is empty and *points* is not.
+    """
+    return nearest_site_indices(
+        [p.x for p in points],
+        [p.y for p in points],
+        [s.x for s in sites],
+        [s.y for s in sites],
+    )
+
+
 class VoronoiDiagram:
     """A bounded Voronoi diagram over a mutable set of named sites.
 
@@ -107,6 +135,17 @@ class VoronoiDiagram:
         self.bounds = bounds
         self._sites: typing.Dict[str, Point] = {}
         self._cells: typing.Optional[typing.Dict[str, ConvexPolygon]] = None
+        #: Compiled nearest-site classifier over the current sites (see
+        #: :func:`repro.geometry.kernels.compile_nearest_site_kernel`),
+        #: with the matching name order; rebuilt lazily after any site
+        #: change, then reused for every ``owner_of`` query.
+        self._classifier: typing.Optional[
+            typing.Callable[
+                [typing.Sequence[float], typing.Sequence[float]],
+                typing.List[int],
+            ]
+        ] = None
+        self._classifier_names: typing.List[str] = []
 
     # ------------------------------------------------------------------
     # Site management
@@ -115,11 +154,13 @@ class VoronoiDiagram:
         """Add or move the site *name*; invalidates cached cells."""
         self._sites[name] = position
         self._cells = None
+        self._classifier = None
 
     def remove_site(self, name: str) -> None:
         """Remove the site *name* (KeyError if absent)."""
         del self._sites[name]
         self._cells = None
+        self._classifier = None
 
     @property
     def sites(self) -> typing.Dict[str, Point]:
@@ -147,11 +188,18 @@ class VoronoiDiagram:
         """
         if not self._sites:
             raise ValueError("diagram has no sites")
-        names = list(self._sites)
-        positions = [self._sites[n] for n in names]
-        from repro.geometry.voronoi import closest_site_index as _csi
-
-        return names[_csi(point, positions)]
+        classifier = self._classifier
+        if classifier is None:
+            names = list(self._sites)
+            positions = [self._sites[n] for n in names]
+            classifier = compile_nearest_site_kernel(
+                [p.x for p in positions], [p.y for p in positions]
+            )
+            self._classifier = classifier
+            self._classifier_names = names
+        return self._classifier_names[
+            classifier((point.x,), (point.y,))[0]
+        ]
 
     def neighbours_of(self, name: str) -> typing.List[str]:
         """Sites whose cells share a boundary with *name*'s cell.

@@ -310,7 +310,7 @@ class Channel:
                 stats.frames_unreachable += 1
                 # In lossy mode the MAC's own ARQ discovers the dead hop
                 # (ack timeout) — don't double-notify.
-                if not frame.is_ack and sender.radio.loss_rate == 0.0:
+                if not frame.is_ack and loss_rate == 0.0:
                     self.sim.call_in(
                         self.RETRY_EXHAUSTION_DELAY_S,
                         lambda: self._notify_link_failure(
@@ -325,13 +325,30 @@ class Channel:
         fault_field = self.fault_field
         faults_active = fault_field is not None and fault_field.active
         if loss_rate > 0.0 or faults_active:
-            surviving = []
-            for receiver in receivers:
-                cause = None
-                if faults_active:
-                    cause = fault_field.drop_cause(
+            if faults_active and len(receivers) > 1:
+                # Batch the fault field's disk tests over the whole
+                # receiver set (one flat-array pass per region).  The
+                # jam draws stay in receiver order on their own stream
+                # and the loss draws below stay in receiver order on
+                # theirs, so interleaving the two loops differently
+                # from the scalar path changes no stream's sequence.
+                causes = fault_field.drop_causes(
+                    sender_position,
+                    [receiver.position.x for receiver in receivers],
+                    [receiver.position.y for receiver in receivers],
+                )
+            elif faults_active:
+                causes = [
+                    fault_field.drop_cause(
                         sender_position, receiver.position
                     )
+                    for receiver in receivers
+                ]
+            else:
+                causes = None
+            surviving = []
+            for index, receiver in enumerate(receivers):
+                cause = causes[index] if causes is not None else None
                 if (
                     cause is None
                     and loss_rate > 0.0

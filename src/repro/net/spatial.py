@@ -7,13 +7,21 @@ for the paper's densities (one sensor per ~28 m × 28 m).
 
 Hot-path layout (see ``docs/PERFORMANCE.md``):
 
-* Cells store flattened ``(id, x, y, (id, position))`` entries in
-  id-sorted lists, so a range query walks contiguous tuples — no
-  attribute loads, no per-hit allocation — instead of chasing a
-  membership set through the positions dict.
+* Cells store flattened ``(id, x, y, (id, position))`` entry rows in
+  id-sorted lists.  Iterating prebuilt tuples beats zipping parallel
+  coordinate arrays here — list iteration yields existing tuples with
+  no per-element allocation, and the buckets are too small (a handful
+  of sensors each) to amortize any per-bucket batch setup — so the
+  grid keeps the row layout and hands the *concatenated* candidate
+  rows of a query to one
+  :func:`repro.geometry.kernels.collect_entries_within_radius` call:
+  a single fused filter-and-gather pass with no attribute loads and no
+  per-hit allocation.
 * The set of candidate cell offsets for a query radius is precomputed
   once per radius (``_offsets_for``) — the paper uses exactly two radii
-  (63 m sensors, 250 m robots/manager), so the tables are tiny.
+  (63 m sensors, 250 m robots/manager), so the tables are tiny.  Each
+  candidate cell is then pruned by its exact minimum distance to the
+  query center before its rows are collected.
 * Every mutation bumps :attr:`epoch`; the channel keys its cached
   receiver sets on it, and the grid keys its own query memo on it, so
   caches invalidate exactly when the node population or a position
@@ -31,6 +39,7 @@ import typing
 
 from math import floor as _floor
 
+from repro.geometry.kernels import collect_entries_within_radius
 from repro.geometry.point import Point
 
 __all__ = ["SpatialGrid"]
@@ -210,8 +219,8 @@ class SpatialGrid:
         fx = x - cx * size
         fy = y - cy * size
         get = self._cells.get
-        found: typing.List[typing.Tuple[str, Point]] = []
-        append = found.append
+        candidates: typing.List[_Entry] = []
+        extend = candidates.extend
         for dx, dy in self._offsets_for(radius):
             if dx > 0:
                 mx = dx * size - fx
@@ -229,11 +238,9 @@ class SpatialGrid:
                 continue
             bucket = get((cx + dx, cy + dy))
             if bucket:
-                for _item_id, px, py, pair in bucket:
-                    qx = px - x
-                    qy = py - y
-                    if qx * qx + qy * qy <= r2:
-                        append(pair)
+                extend(bucket)
+        found: typing.List[typing.Tuple[str, Point]] = []
+        collect_entries_within_radius(candidates, x, y, r2, found)
         found.sort()
         if len(memo) >= 4096:  # bound memory on pathological query mixes
             memo.clear()
@@ -298,7 +305,8 @@ class SpatialGrid:
         for cell in cells:
             bucket = self._cells.get(cell)
             if bucket:
-                members.extend(entry[0] for entry in bucket)
+                for entry in bucket:
+                    members.append(entry[0])
         members.sort()
         return members
 

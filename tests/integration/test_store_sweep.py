@@ -9,9 +9,10 @@ recomputed.
 
 import pytest
 
-from repro.deploy import Algorithm
+from repro.deploy import Algorithm, reset_placement_cache
+from repro.deploy import placement_cache
 from repro.experiments import runner, sweep
-from repro.store import RunStore, reports_equivalent
+from repro.store import RunStore, canonical_json, reports_equivalent
 
 FAST = dict(sim_time_s=2_000.0, sensors_per_robot=25, placement="grid")
 
@@ -80,6 +81,43 @@ class TestCachedSweep:
         assert result.cache.hits == 0
         assert result.cache.misses == 4
         assert len(counted_runs) == 8
+
+
+class TestPlacementCacheIdentity:
+    def test_cached_and_cold_sweeps_byte_identical(self, monkeypatch):
+        """A placement-cache hit must not change a single output byte.
+
+        The first (cold) sweep computes every placement; the second runs
+        with the cache warm and — proven by poisoning the placement
+        functions — recomputes none.  Every report must still serialize
+        to the identical canonical JSON.
+        """
+        grid = dict(
+            algorithms=(Algorithm.FIXED, Algorithm.CENTRALIZED),
+            robot_counts=(4,),
+            seeds=(1,),
+            parallel=False,
+            **FAST,
+        )
+        reset_placement_cache()
+        cold = sweep(**grid)
+
+        def poisoned(*_args, **_kwargs):
+            raise AssertionError("placement recomputed despite warm cache")
+
+        monkeypatch.setattr(
+            placement_cache, "jittered_grid_positions", poisoned
+        )
+        monkeypatch.setattr(
+            placement_cache, "connected_uniform_positions", poisoned
+        )
+        warm = sweep(**grid)
+
+        for p1, p2 in zip(cold.points, warm.points):
+            for r1, r2 in zip(p1.reports, p2.reports):
+                assert canonical_json(r1.to_json_dict()) == canonical_json(
+                    r2.to_json_dict()
+                )
 
 
 class TestResumableSweep:
